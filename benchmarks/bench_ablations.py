@@ -1,0 +1,145 @@
+"""Experiment E7 — ablations the paper calls out in the text.
+
+* the repair fuzziness parameter ``k`` (Section 6 fixes k=2 and notes
+  the unrestricted variant always succeeds);
+* the rewrite rule priority (Claim 2: any order works; the order only
+  affects the syntactic shape, cf. Figure 3's footnote);
+* the generalisation gap of Section 7: learning ``(a1+...+an)*``
+  requires ~n² 2-grams for rewrite but only O(n) witnesses for CRX
+  (the 400 << 1682 and 500 << 3136 observations for examples 3/4).
+"""
+
+import itertools
+import random
+
+from repro.automata.soa import SOA
+from repro.core.crx import crx
+from repro.core.idtd import idtd_from_soa
+from repro.core.rewrite import DEFAULT_ORDER, rewrite
+from repro.evaluation.tables import Table
+from repro.learning.tinf import tinf
+from repro.regex.language import language_equivalent
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_paper_syntax
+
+
+def test_repair_k_ablation(rng, benchmark):
+    """Larger k = looser repairs = earlier merging; k=2 is the sweet spot."""
+    words = [tuple(w) for w in ["bacacdacde", "cbacdbacde"]]
+    soa = tinf(words)
+    table = Table(
+        headers=("initial k", "repairs", "result"),
+        title="E7a: repair fuzziness k on the Figure 2 automaton",
+    )
+    for k in (1, 2, 4, 8):
+        result = idtd_from_soa(soa, k=k)
+        table.add(k, len(result.repairs), to_paper_syntax(result.regex))
+    table.show()
+    benchmark(lambda: idtd_from_soa(soa, k=2))
+    # all variants produce supersets; k=2 reproduces the paper's output
+    assert (
+        to_paper_syntax(idtd_from_soa(soa, k=2).regex)
+        == "((b? (a + c))+ d)+ e"
+    )
+
+
+def test_rule_order_ablation(benchmark):
+    """Claim 2: every priority yields an equivalent SORE; the default
+    (optional first) gives the most concise rendering of Figure 3."""
+    words = [tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]]
+    soa = tinf(words)
+    target = parse_regex("((b? (a + c))+ d)+ e")
+    table = Table(
+        headers=("priority", "tokens", "result"),
+        title="E7b: rewrite rule priority (Figure 3 footnote)",
+    )
+    seen_sizes = []
+    for order in sorted(itertools.permutations(DEFAULT_ORDER)):
+        result = rewrite(soa, order=order)
+        assert result.succeeded
+        assert language_equivalent(result.regex, target)
+        seen_sizes.append(result.regex.token_count())
+        if order in (DEFAULT_ORDER, tuple(reversed(DEFAULT_ORDER))):
+            table.add(
+                ">".join(order), result.regex.token_count(),
+                to_paper_syntax(result.regex),
+            )
+    table.add("(all 24 orders)", f"{min(seen_sizes)}-{max(seen_sizes)}", "all equivalent")
+    table.show()
+    benchmark(lambda: rewrite(soa))
+    assert min(seen_sizes) == 12
+    assert rewrite(soa, order=DEFAULT_ORDER).regex.token_count() == 12
+
+
+def test_generalisation_gap_n_vs_n_squared(rng, benchmark):
+    """Section 7: 'while rewrite requires all n² substrings aiaj,
+    iDTD also still requires around n²−n substrings.  For crx, the
+    set {a1a2, a2a3, ..., ana1} of size O(n) will suffice.'"""
+    table = Table(
+        headers=(
+            "n",
+            "crx from O(n)",
+            "idtd from O(n)",
+            "idtd from n^2-n grams",
+            "rewrite needs",
+        ),
+        title="E7c: data needed for (a1+...+an)+ d (Section 7's gap)",
+    )
+    results = []
+    for n in (5, 10, 15):
+        symbols = [f"a{i}" for i in range(1, n + 1)]
+        target = parse_regex("(" + " + ".join(symbols) + ")+ d")
+        # linear witness set: the cycle a1a2, a2a3, ..., ana1 (+ exit)
+        linear = [(symbols[i], symbols[(i + 1) % n], "d") for i in range(n)]
+        # quadratic-minus-diagonal witnesses: every ordered pair i != j
+        quadratic = [
+            (symbols[i], symbols[j], "d")
+            for i in range(n)
+            for j in range(n)
+            if i != j
+        ]
+        crx_linear = language_equivalent(crx(linear), target)
+        idtd_linear = language_equivalent(
+            idtd_from_soa(tinf(linear)).regex, target
+        )
+        idtd_quadratic = language_equivalent(
+            idtd_from_soa(tinf(quadratic)).regex, target
+        )
+        results.append((crx_linear, idtd_linear, idtd_quadratic))
+        table.add(n, crx_linear, idtd_linear, idtd_quadratic, f"{n * n} grams")
+    table.show()
+    symbols = [f"a{i}" for i in range(1, 16)]
+    linear = [(symbols[i], symbols[(i + 1) % 15], "d") for i in range(15)]
+    benchmark(lambda: crx(linear))
+    # crx always succeeds from O(n); iDTD always succeeds from ~n^2-n
+    # (per the paper, it generally needs that much)
+    assert all(crx_ok for crx_ok, _, _ in results)
+    assert all(quad_ok for _, _, quad_ok in results)
+
+
+def test_ktestable_window_ablation(rng, benchmark):
+    """2T-INF vs k-testable inference for k>2: stricter but data-hungrier."""
+    from repro.learning.tinf import ktinf
+
+    target = parse_regex("a (b + c)+ d")
+    from repro.datagen.strings import padded_sample
+
+    sample = padded_sample(target, 120, rng)
+    table = Table(
+        headers=("k", "accepts abcd", "accepts abbbcd", "accepts unseen bc-run"),
+        title="E7d: k-testable window size (k=2 is the paper's choice)",
+    )
+    probe_long = tuple("a" + "bc" * 6 + "d")
+    for k in (2, 3, 4):
+        automaton = ktinf(sample, k=k)
+        table.add(
+            k,
+            automaton.accepts(tuple("abcd")),
+            automaton.accepts(tuple("abbbcd")),
+            automaton.accepts(probe_long),
+        )
+    table.show()
+    benchmark(lambda: ktinf(sample, k=3))
+    # k=2 generalises to the long unseen run; it may or may not accept
+    # under larger k (less generalisation) — the point of the ablation
+    assert ktinf(sample, k=2).accepts(probe_long)

@@ -1,0 +1,92 @@
+"""Experiment E4 — Figure 4: generalisation (critical sample sizes).
+
+For the three panels (example2, example4, expression (‡)) the bench
+draws reservoir subsamples of increasing size, runs crx / iDTD /
+rewrite, and plots the fraction of runs recovering each learner's
+target.  Expected shape, per the paper:
+
+* crx saturates first (2-10x fewer strings than iDTD);
+* iDTD saturates well before plain rewrite (the repair rules work);
+* rewrite needs an essentially representative sample.
+
+The paper uses 200 trials per size; the quick scale uses fewer
+(set REPRO_BENCH_SCALE=full for the paper's protocol).
+"""
+
+import pytest
+
+from repro.datagen.corpora import FIGURE4_TARGETS
+from repro.datagen.strings import padded_sample
+from repro.evaluation.criticality import figure4_panel
+from repro.evaluation.tables import Table, ascii_curve
+from repro.regex.parser import parse_regex
+
+#: Full-sample sizes per panel (paper: 2210 / 10000 / ~1300).  The
+#: sample must comfortably exceed the representative core (example4's
+#: SOA alone needs ~3400 witnesses) so that subsamples keep redundancy,
+#: as the paper's large random corpora did.
+_PANEL_SIZES = {"example2": 2200, "example4": 7000, "dagger": 1300}
+_PANEL_GRIDS = {
+    "example2": [15, 30, 60, 120, 300, 800, 1500, 2200],
+    "example4": [100, 250, 600, 1500, 3000, 4500, 7000],
+    "dagger": [10, 25, 50, 100, 250, 500, 900, 1300],
+}
+
+
+@pytest.mark.parametrize("panel", sorted(FIGURE4_TARGETS), ids=str)
+def test_figure4_panel(panel, rng, scale, benchmark):
+    target = parse_regex(FIGURE4_TARGETS[panel])
+    full = padded_sample(target, _PANEL_SIZES[panel], rng)
+    # the representative core can exceed the requested size (example4's
+    # SOA alone needs thousands of witnesses); anchor the grid to the
+    # actual full-sample size so the last point is the whole sample
+    grid = _PANEL_GRIDS[panel]
+    if not scale.is_full:
+        grid = grid[:: max(1, len(grid) // scale.figure4_points)]
+    grid = [size for size in grid if size < len(full)] + [len(full)]
+
+    curves = figure4_panel(
+        full, sizes=grid, trials=scale.figure4_trials, rng=rng
+    )
+
+    print(f"\nE4: Figure 4 panel '{panel}' "
+          f"({scale.figure4_trials} trials per size)")
+    for learner in ("crx", "idtd", "rewrite"):
+        curve = curves[learner]
+        print(
+            ascii_curve(
+                [(p.size, p.fraction) for p in curve.points],
+                label=f"-- {learner} (critical size: {curve.critical_size()})",
+            )
+        )
+
+    summary = Table(
+        headers=("learner", "critical size", "success@smallest"),
+        title=f"E4 summary ({panel})",
+    )
+    for learner in ("crx", "idtd", "rewrite"):
+        curve = curves[learner]
+        summary.add(
+            learner,
+            curve.critical_size() or f"> {grid[-1]}",
+            f"{curve.points[0].fraction:.2f}",
+        )
+    summary.show()
+
+    # time one subsample-and-learn step (the unit of the protocol)
+    from repro.core.crx import crx
+    from repro.learning.sampling import covering_subsample
+
+    benchmark(lambda: crx(covering_subsample(full, grid[0], rng)))
+
+    # shape assertions: crx >= idtd >= rewrite pointwise (with slack of
+    # one trial for sampling noise)
+    slack = 1.5 / scale.figure4_trials
+    for crx_point, idtd_point, rewrite_point in zip(
+        curves["crx"].points, curves["idtd"].points, curves["rewrite"].points
+    ):
+        assert crx_point.fraction >= idtd_point.fraction - slack
+        assert idtd_point.fraction >= rewrite_point.fraction - slack
+    # everyone recovers the target at the full sample size
+    assert curves["crx"].points[-1].fraction == 1.0
+    assert curves["idtd"].points[-1].fraction == 1.0

@@ -1,0 +1,89 @@
+"""Experiment E3 — Table 2: sophisticated real-world expressions.
+
+example1..example5 from DTDs studied in [10], with generated data
+(our ToXgene substitute).  Expected shape, per the paper:
+
+* CRX reproduces its row exactly on all five;
+* iDTD reproduces its row exactly on example1-4 and finds a
+  language-equivalent (one token smaller) SORE on example5;
+* XTRACT needs its sample capped (300-500) and still emits expressions
+  an order of magnitude larger.
+"""
+
+import pytest
+
+from repro.baselines.xtract import XtractCapacityError, xtract
+from repro.core.crx import crx
+from repro.core.idtd import idtd
+from repro.datagen.corpora import TABLE2
+from repro.datagen.strings import padded_sample
+from repro.evaluation.tables import Table
+from repro.regex.language import language_equivalent
+from repro.regex.normalize import syntactically_equal
+from repro.regex.printer import to_paper_syntax
+
+#: Paper sample sizes are up to 10000; cap generation for the quick scale.
+_SIZE_CAP = 2500
+
+
+@pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.element)
+def test_table2_row(row, rng, scale, benchmark):
+    size = row.sample_size if scale.is_full else min(row.sample_size, _SIZE_CAP)
+    sample = padded_sample(row.generator(), size, rng)
+    crx_result = crx(sample)
+    idtd_result = benchmark(lambda: idtd(sample))
+
+    try:
+        xtract_result = xtract(
+            sample[: min(row.xtract_sample_size, scale.xtract_cap)]
+        )
+        xtract_cell = f"{xtract_result.token_count()} tokens"
+    except XtractCapacityError as error:
+        xtract_cell = f"capacity error ({error})"
+
+    table = Table(
+        headers=("source", "expression / outcome"),
+        title=f"E3: Table 2 '{row.element}' (sample {len(sample)}, "
+        f"paper {row.sample_size})",
+    )
+    table.add("original DTD", row.original_dtd)
+    table.add("paper crx", row.expected_crx)
+    table.add("measured crx", to_paper_syntax(crx_result))
+    table.add("paper iDTD", row.expected_idtd)
+    table.add("measured iDTD", to_paper_syntax(idtd_result))
+    table.add("paper xtract", row.xtract_outcome)
+    table.add("measured xtract", xtract_cell)
+    table.show()
+
+    assert syntactically_equal(crx_result, row.crx_target())
+    if row.element == "example5":
+        assert language_equivalent(idtd_result, row.idtd_target())
+        assert idtd_result.token_count() <= row.idtd_target().token_count()
+    else:
+        assert syntactically_equal(idtd_result, row.idtd_target())
+
+
+def test_xtract_token_blowup_on_heterogeneous_data(rng, scale, benchmark):
+    """XTRACT's output grows with data diversity; CHAREs stay linear."""
+    row = TABLE2[1]  # example2: 18 symbols
+    table = Table(
+        headers=("sample size", "crx tokens", "xtract tokens"),
+        title="E3b: output size vs sample size (example2)",
+    )
+    sizes = (30, 80, scale.xtract_cap)
+    xtract_sizes = []
+    for size in sizes:
+        sample = padded_sample(row.generator(), size, rng)
+        crx_tokens = crx(sample).token_count()
+        try:
+            xtract_tokens = xtract(sample).token_count()
+            xtract_sizes.append(xtract_tokens)
+            table.add(size, crx_tokens, xtract_tokens)
+        except XtractCapacityError:
+            table.add(size, crx_tokens, "capacity error")
+    table.show()
+    sample = padded_sample(row.generator(), 80, rng)
+    benchmark(lambda: xtract(sample))
+    # xtract output grows with the sample; crx stays fixed
+    if len(xtract_sizes) >= 2:
+        assert xtract_sizes[-1] >= xtract_sizes[0]

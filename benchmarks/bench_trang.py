@@ -1,0 +1,62 @@
+"""Experiment E6 — Section 8.1: the Trang comparison.
+
+Expected shape: Trang's output equals CRX's on every Table 1 / Table 2
+corpus except example1, where it depends on the presentation order —
+contiguous grouping yields the exact ``a1+ + (a2? a3+)``, interleaving
+yields ``a1* a2? a3*`` (the inconsistency the paper uses to argue for a
+formally specified target class).
+"""
+
+import random
+
+from repro.baselines.trang import trang
+from repro.core.crx import crx
+from repro.datagen.corpora import TABLE1, TABLE2, table2_row
+from repro.evaluation.tables import Table
+from repro.regex.normalize import syntactically_equal
+from repro.regex.printer import to_paper_syntax
+
+
+def test_trang_crx_agreement(rng, benchmark):
+    table = Table(
+        headers=("element", "agrees with crx"),
+        title="E6: Trang vs CRX on Tables 1-2 "
+        "(paper: identical in all but one case)",
+    )
+    agreements = 0
+    rows = list(TABLE1) + list(TABLE2)
+    for row in rows:
+        sample = row.sample()
+        same = syntactically_equal(trang(sample), crx(sample))
+        agreements += same
+        table.add(row.element, "yes" if same else "NO")
+    table.show()
+    benchmark(lambda: trang(TABLE1[0].sample()))
+    assert agreements == len(rows)
+
+
+def test_example1_order_sensitivity(benchmark):
+    row = table2_row("example1")
+    base = row.sample()
+    contiguous = sorted(base)
+    interleaved = list(base)
+    random.Random(7).shuffle(interleaved)
+
+    contiguous_result = trang(contiguous)
+    interleaved_result = benchmark(lambda: trang(interleaved))
+
+    table = Table(
+        headers=("presentation", "Trang output"),
+        title="E6b: example1 — Trang's input-order dependence",
+    )
+    table.add("grouped by pattern", to_paper_syntax(contiguous_result))
+    table.add("interleaved", to_paper_syntax(interleaved_result))
+    table.add("paper outcome A", "a1+ + (a2? a3+)")
+    table.add("paper outcome B", "a1* a2? a3*")
+    table.show()
+
+    from repro.regex.parser import parse_regex
+
+    assert syntactically_equal(contiguous_result, parse_regex("a1+ + (a2? a3+)"))
+    assert syntactically_equal(interleaved_result, parse_regex("a1* a2? a3*"))
+    assert not syntactically_equal(contiguous_result, interleaved_result)

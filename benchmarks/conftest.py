@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Every module regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and prints the paper-vs-measured rows;
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+
+Scale: the environment variable ``REPRO_BENCH_SCALE`` picks between
+
+* ``quick`` (default) — reduced trial counts and sample sizes so the
+  whole harness completes in a couple of minutes;
+* ``full``  — the paper's sample sizes (e.g. 10 000 strings for
+  example4 and 200 subsample trials per Figure 4 point).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    figure4_trials: int  # paper: 200
+    figure4_points: int  # grid resolution per panel
+    xtract_cap: int  # strings fed to xtract
+    performance_strings: int  # paper: 10000
+    noise_words: int
+
+    @property
+    def is_full(self) -> bool:
+        return self.name == "full"
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        figure4_trials=20,
+        figure4_points=6,
+        xtract_cap=150,
+        performance_strings=2000,
+        noise_words=400,
+    ),
+    "full": BenchScale(
+        name="full",
+        figure4_trials=200,
+        figure4_points=10,
+        xtract_cap=500,
+        performance_strings=10000,
+        noise_words=5000,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "quick")]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20060912)

@@ -1,0 +1,53 @@
+"""Quickstart: infer a DTD from XML documents in a few lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    infer_chare,
+    infer_dtd,
+    infer_sore,
+    parse_document,
+    to_paper_syntax,
+    validate,
+)
+
+# --- 1. Learning an expression from child-name sequences -------------------
+#
+# DTD inference reduces to learning a regular expression per element
+# from the sequences of children observed below it.  Two learners:
+#   * infer_sore (iDTD) — most specific, wants more data;
+#   * infer_chare (CRX) — generalises aggressively, fine with few examples.
+
+words = [
+    ["title", "author", "author", "year"],
+    ["title", "author", "year"],
+    ["title", "editor", "year"],
+]
+print("iDTD (SORE): ", to_paper_syntax(infer_sore(words)))
+print("CRX (CHARE): ", to_paper_syntax(infer_chare(words)))
+
+# --- 2. End-to-end: XML corpus -> DTD ---------------------------------------
+
+documents = [
+    parse_document(text)
+    for text in [
+        "<bib><book><title>t1</title><author>a</author>"
+        "<author>b</author><year>2004</year></book></bib>",
+        "<bib><book><title>t2</title><author>c</author>"
+        "<year>2005</year></book>"
+        "<book><title>t3</title><editor>d</editor>"
+        "<year>2006</year></book></bib>",
+    ]
+]
+
+dtd = infer_dtd(documents)
+print("\nInferred DTD:")
+print(dtd.render())
+
+# --- 3. The inferred DTD validates the corpus it was learned from ----------
+
+for index, document in enumerate(documents):
+    violations = validate(document, dtd)
+    status = "valid" if not violations else f"{len(violations)} violations"
+    print(f"document {index}: {status}")

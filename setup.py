@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable in offline environments whose
+setuptools/pip combination lacks the `wheel` package required by the
+PEP 517 editable path (use: pip install -e . --no-build-isolation
+--no-use-pep517).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Graphviz (DOT) export for SOAs and GFAs.
+
+The paper's figures are state-labelled automata; these helpers render
+our automata the same way (labels inside the nodes, unlabeled edges,
+a small arrow-only source and a double-circled sink), which makes
+debugging rewrite runs and presenting inferred automata practical:
+
+    dot -Tpng <(python -c "...; print(soa_to_dot(soa))") -o soa.png
+"""
+
+from __future__ import annotations
+
+from ..regex.printer import to_paper_syntax
+from .gfa import GFA, SINK, SOURCE
+from .soa import SOA
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def soa_to_dot(soa: SOA, name: str = "soa") -> str:
+    """Render a SOA in the paper's visual convention."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        '  src [shape=point, label=""];',
+        "  snk [shape=doublecircle, label=\"\"];",
+        "  node [shape=circle];",
+    ]
+    for symbol in sorted(soa.symbols):
+        lines.append(f"  {_quote(symbol)} [label={_quote(symbol)}];")
+    for symbol in sorted(soa.initial):
+        lines.append(f"  src -> {_quote(symbol)};")
+    for a, b in sorted(soa.edges):
+        lines.append(f"  {_quote(a)} -> {_quote(b)};")
+    for symbol in sorted(soa.final):
+        lines.append(f"  {_quote(symbol)} -> snk;")
+    if soa.accepts_empty:
+        lines.append("  src -> snk;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def gfa_to_dot(gfa: GFA, name: str = "gfa") -> str:
+    """Render a GFA with its regular-expression state labels."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        '  src [shape=point, label=""];',
+        "  snk [shape=doublecircle, label=\"\"];",
+        "  node [shape=box, style=rounded];",
+    ]
+
+    def node_id(node: int) -> str:
+        if node == SOURCE:
+            return "src"
+        if node == SINK:
+            return "snk"
+        return f"n{node}"
+
+    for node in sorted(gfa.nodes()):
+        label = to_paper_syntax(gfa.labels[node])
+        lines.append(f"  {node_id(node)} [label={_quote(label)}];")
+    for tail, head in sorted(gfa.edge_list()):
+        lines.append(f"  {node_id(tail)} -> {node_id(head)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,137 @@
+"""Classical state elimination: automaton → regular expression.
+
+This is the textbook algorithm (Hopcroft & Ullman) the paper contrasts
+with ``rewrite``: applied to the automaton of Figure 1 it produces the
+monstrous expression (†) where an equivalent SORE (‡) has 12 tokens.
+Ehrenfeucht & Zeiger showed the blow-up is unavoidable in general —
+which is exactly why the paper targets the SORE subclass instead.
+
+We keep it for the conciseness benchmarks (experiment E1) and implement
+the elimination-order heuristics studied in the optimisation literature
+([16, 27] in the paper): the order in which states are eliminated can
+change the output size considerably, but no order avoids the
+exponential worst case.
+
+Because the paper's automata label *states* rather than edges, the edge
+into the sink consumes no symbol.  We therefore run the elimination
+over labels of type ``Regex | None`` where ``None`` plays the role of ε
+(``ε . r = r`` and ``ε + r = r?``), avoiding an epsilon node in the
+public AST.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Literal
+
+from ..regex.ast import Opt, Regex, Star, Sym, concat, disj
+from .soa import SOA
+
+Order = Literal["natural", "min_degree", "random"]
+
+_SOURCE = -1
+_SINK = -2
+
+_Label = Regex | None  # None is ε
+
+
+def _join(first: _Label, second: _Label) -> _Label:
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return concat(first, second)
+
+
+def _union(first: _Label, second: _Label) -> _Label:
+    if first is None and second is None:
+        return None
+    if first is None:
+        return second if second.nullable() else Opt(second)
+    if second is None:
+        return first if first.nullable() else Opt(first)
+    return disj(first, second)
+
+
+def state_elimination(
+    soa: SOA,
+    order: Order = "natural",
+    rng: random.Random | None = None,
+) -> Regex:
+    """Convert a SOA to an RE by classical state elimination.
+
+    ``order`` picks which state to eliminate next:
+
+    * ``natural`` — sorted symbol order (what a naive implementation does);
+    * ``min_degree`` — greedily eliminate the state minimising
+      ``in-degree × out-degree`` (the common heuristic from the
+      automata-to-RE optimisation literature);
+    * ``random`` — a uniformly random order (pass ``rng`` for
+      reproducibility).
+
+    The result is language-equivalent to the SOA but generally far
+    larger than the SORE found by ``rewrite`` — that contrast is the
+    point of experiment E1.
+    """
+    if soa.accepts_empty:
+        raise ValueError(
+            "state elimination here targets ε-free SOA languages; "
+            "handle accepts_empty at the DTD layer"
+        )
+    trimmed = soa.trimmed()
+    if not trimmed.symbols:
+        raise ValueError("empty language: no accepting path in the SOA")
+
+    ids = {symbol: index for index, symbol in enumerate(sorted(trimmed.symbols))}
+    edges: dict[tuple[int, int], _Label] = {}
+
+    def add(tail: int, head: int, label: _Label) -> None:
+        edges[(tail, head)] = (
+            _union(edges[(tail, head)], label) if (tail, head) in edges else label
+        )
+
+    for symbol in trimmed.initial:
+        add(_SOURCE, ids[symbol], Sym(symbol))
+    for a, b in trimmed.edges:
+        add(ids[a], ids[b], Sym(b))
+    for symbol in trimmed.final:
+        add(ids[symbol], _SINK, None)
+
+    def degree(state: int) -> int:
+        incoming = sum(1 for (t, h) in edges if h == state and t != state)
+        outgoing = sum(1 for (t, h) in edges if t == state and h != state)
+        return incoming * outgoing
+
+    remaining = set(ids.values())
+    while remaining:
+        if order == "natural":
+            state = min(remaining)
+        elif order == "min_degree":
+            state = min(remaining, key=lambda s: (degree(s), s))
+        elif order == "random":
+            generator = rng if rng is not None else random
+            state = generator.choice(sorted(remaining))
+        else:  # pragma: no cover - guarded by the Literal type
+            raise ValueError(f"unknown elimination order {order!r}")
+        remaining.discard(state)
+
+        loop = edges.pop((state, state), None)
+        incoming = [
+            (tail, label) for (tail, head), label in edges.items() if head == state
+        ]
+        outgoing = [
+            (head, label) for (tail, head), label in edges.items() if tail == state
+        ]
+        for tail, _ in incoming:
+            del edges[(tail, state)]
+        for head, _ in outgoing:
+            del edges[(state, head)]
+        middle = Star(loop) if loop is not None else None
+        for tail, in_label in incoming:
+            for head, out_label in outgoing:
+                add(tail, head, _join(_join(in_label, middle), out_label))
+
+    final = edges.get((_SOURCE, _SINK))
+    if final is None:
+        raise ValueError("the SOA accepts only ε, which no RE can denote")
+    return final

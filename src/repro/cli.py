@@ -1,0 +1,232 @@
+"""Command-line interface: ``repro-infer`` / ``python -m repro``.
+
+Subcommands:
+
+* ``infer FILE...``       — infer a DTD (or XSD) from XML documents;
+* ``validate -d DTD FILE...`` — validate documents against a DTD;
+* ``expr STRINGS...``     — infer an expression from child-name words
+  given directly on the command line (whitespace-separated names,
+  one word per argument), handy for experimentation;
+* ``sample -d DTD -o DIR`` — generate random XML documents conforming
+  to a DTD (the ToXgene-substitute as a tool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.crx import crx
+from .core.idtd import idtd
+from .core.inference import DTDInferencer
+from .regex.printer import to_dtd_syntax, to_paper_syntax
+from .xmlio.dtd import parse_dtd
+from .xmlio.extract import extract_evidence
+from .xmlio.parser import parse_file
+from .xmlio.validate import validate
+from .xmlio.xsd import dtd_to_xsd
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    documents = [parse_file(path) for path in args.files]
+    inferencer = DTDInferencer(
+        method=args.method,
+        numeric=args.numeric,
+        infer_attributes=not args.no_attributes,
+    )
+    evidence = extract_evidence(documents)
+    if args.support_threshold > 0:
+        _apply_support_threshold(evidence, args.support_threshold)
+    dtd = inferencer.infer_from_evidence(evidence)
+    if args.format == "dtd":
+        sys.stdout.write(dtd.render())
+    else:
+        sys.stdout.write(dtd_to_xsd(dtd, text_types=inferencer.report.text_types))
+    return 0
+
+
+def _apply_support_threshold(evidence, threshold: int) -> None:
+    """Noise handling (Section 9): drop element names mentioned in
+    fewer than ``threshold`` parent sequences, corpus-wide."""
+    support: dict[str, int] = {}
+    for element in evidence.elements.values():
+        for sequence in element.child_sequences:
+            for name in set(sequence):
+                support[name] = support.get(name, 0) + 1
+    noisy = {
+        name
+        for name, count in support.items()
+        if count < threshold and name in evidence.elements
+    }
+    if not noisy:
+        return
+    for element in evidence.elements.values():
+        element.child_sequences = [
+            tuple(name for name in sequence if name not in noisy)
+            for sequence in element.child_sequences
+        ]
+    for name in noisy:
+        evidence.elements.pop(name, None)
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    import os
+    import random
+
+    from .datagen.xmlgen import XmlGenerator, serialize
+
+    with open(args.dtd, encoding="utf-8") as handle:
+        dtd = parse_dtd(handle.read())
+    generator = XmlGenerator(dtd, random.Random(args.seed))
+    os.makedirs(args.output, exist_ok=True)
+    for index in range(args.count):
+        path = os.path.join(args.output, f"sample{index:04d}.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize(generator.document()))
+    print(f"wrote {args.count} documents to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.dtd, encoding="utf-8") as handle:
+        dtd = parse_dtd(handle.read())
+    exit_code = 0
+    for path in args.files:
+        document = parse_file(path)
+        violations = validate(document, dtd)
+        if violations:
+            exit_code = 1
+            print(f"{path}: INVALID ({len(violations)} violations)")
+            for violation in violations[: args.max_violations]:
+                print(f"  {violation}")
+        else:
+            print(f"{path}: valid")
+    return exit_code
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .xmlio.diff import diff_dtds
+
+    with open(args.old, encoding="utf-8") as handle:
+        old = parse_dtd(handle.read())
+    if args.new is not None:
+        with open(args.new, encoding="utf-8") as handle:
+            new = parse_dtd(handle.read())
+    else:
+        documents = [parse_file(path) for path in args.files]
+        if not documents:
+            print("diff: need --new DTD or XML files to infer one from")
+            return 2
+        new = DTDInferencer(method=args.method).infer(documents)
+    interesting = [
+        entry for entry in diff_dtds(old, new) if entry.relation != "equal"
+    ]
+    if not interesting:
+        print("schemas are equivalent element-by-element")
+        return 0
+    for entry in interesting:
+        print(entry)
+    return 1
+
+
+def _cmd_expr(args: argparse.Namespace) -> int:
+    words = [tuple(word.split()) for word in args.words]
+    learner = crx if args.method == "crx" else idtd
+    regex = learner(words)
+    renderer = to_dtd_syntax if args.format == "dtd" else to_paper_syntax
+    print(renderer(regex))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-infer",
+        description="Infer concise DTDs from XML data (iDTD / CRX, VLDB 2006).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    infer = commands.add_parser("infer", help="infer a DTD from XML files")
+    infer.add_argument("files", nargs="+", help="XML documents")
+    infer.add_argument(
+        "--method",
+        choices=("auto", "idtd", "crx"),
+        default="auto",
+        help="learner per element (default: auto)",
+    )
+    infer.add_argument(
+        "--format", choices=("dtd", "xsd"), default="dtd", help="output syntax"
+    )
+    infer.add_argument(
+        "--numeric",
+        action="store_true",
+        help="tighten +/* to numerical bounds from the data (Section 9)",
+    )
+    infer.add_argument(
+        "--no-attributes", action="store_true", help="skip ATTLIST inference"
+    )
+    infer.add_argument(
+        "--support-threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help="noise handling: ignore element names occurring in fewer "
+        "than N parent sequences (Section 9)",
+    )
+    infer.set_defaults(handler=_cmd_infer)
+
+    sample = commands.add_parser(
+        "sample", help="generate random XML documents from a DTD"
+    )
+    sample.add_argument("-d", "--dtd", required=True, help="DTD file")
+    sample.add_argument(
+        "-o", "--output", required=True, help="output directory"
+    )
+    sample.add_argument("-n", "--count", type=int, default=10)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.set_defaults(handler=_cmd_sample)
+
+    check = commands.add_parser("validate", help="validate XML against a DTD")
+    check.add_argument("-d", "--dtd", required=True, help="DTD file")
+    check.add_argument("files", nargs="+", help="XML documents")
+    check.add_argument(
+        "--max-violations", type=int, default=20, help="violations shown per file"
+    )
+    check.set_defaults(handler=_cmd_validate)
+
+    diff = commands.add_parser(
+        "diff",
+        help="compare a DTD against another DTD or against one inferred "
+        "from XML files (schema cleaning / noise analysis)",
+    )
+    diff.add_argument("--old", required=True, help="baseline DTD file")
+    diff.add_argument("--new", help="other DTD file (or give XML files)")
+    diff.add_argument("files", nargs="*", help="XML documents to infer from")
+    diff.add_argument(
+        "--method", choices=("auto", "idtd", "crx"), default="auto"
+    )
+    diff.set_defaults(handler=_cmd_diff)
+
+    expr = commands.add_parser(
+        "expr", help="infer an expression from words on the command line"
+    )
+    expr.add_argument(
+        "words", nargs="+", help="words: whitespace-separated element names"
+    )
+    expr.add_argument(
+        "--method", choices=("idtd", "crx"), default="idtd", help="learner"
+    )
+    expr.add_argument(
+        "--format", choices=("paper", "dtd"), default="paper", help="output syntax"
+    )
+    expr.set_defaults(handler=_cmd_expr)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

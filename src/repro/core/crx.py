@@ -1,0 +1,319 @@
+"""CRX — direct inference of chain regular expressions (Section 7).
+
+CRX never builds an automaton.  From the sample it derives:
+
+1. the *successive-sibling* pre-order ``a →W b`` (``a`` immediately
+   before ``b`` in some word);
+2. the equivalence classes ``≈W`` (mutual ``→*W`` reachability, i.e.
+   strongly connected components) and the partial order they induce;
+3. the Hasse diagram of that order, in which maximal sets of
+   *singleton* classes with identical predecessor and successor sets
+   are repeatedly merged (Algorithm 3, steps 2–3);
+4. a topological sort of the resulting nodes, one CHARE factor each,
+   with the quantifier chosen from per-word occurrence counts
+   (steps 5–13): exactly one → ``(a1+...+ak)``, at most one → ``?``,
+   at least one and sometimes several → ``+``, otherwise ``*``.
+
+The state kept between words — the arrow relation plus per-word symbol
+counts — is tiny compared to the XML corpus, which is what makes CRX
+streamable and incrementally updatable (Section 9).
+
+Guarantees: ``W ⊆ L(crx(W))`` for every sample (Theorem 3), and for
+every CHARE ``r`` a small sample recovers an expression with
+``L = L(r)`` (Theorem 4); on linearly ordered samples the result is
+optimal within CHAREs (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..regex.ast import Opt, Plus, Regex, Star, concat, disj, syms
+
+Word = Sequence[str]
+
+
+def quantifier_for(minimum: int, maximum: int) -> str:
+    """Algorithm 3 steps 6-13: the factor quantifier from count bounds."""
+    if minimum == 1 and maximum == 1:
+        return ""
+    if maximum == 1:
+        return "?"
+    if minimum >= 1:
+        return "+"
+    return "*"
+
+
+@dataclass
+class ClassSummary:
+    """Occurrence statistics of one node of the (merged) Hasse diagram."""
+
+    members: tuple[str, ...]
+    minimum: int  # fewest occurrences of any member in a single word
+    maximum: int  # most occurrences of any member in a single word
+    quantifier: str  # "", "?", "+", "*"
+
+
+class CrxState:
+    """The streaming internal representation of CRX.
+
+    ``add`` folds one word in; ``infer`` derives the CHARE for the data
+    seen so far.  Only the arrow relation and per-word symbol counters
+    are retained, so the original XML never needs to stay in memory and
+    new data can arrive later (the Section 9 incremental setting).
+    """
+
+    def __init__(self) -> None:
+        self.arrows: set[tuple[str, str]] = set()
+        self.alphabet: set[str] = set()
+        #: distinct occurrence profiles with multiplicities.  Real
+        #: corpora contain few distinct profiles, which keeps the state
+        #: small regardless of corpus size (the Section 9 memory claim).
+        self.profiles: Counter[frozenset[tuple[str, int]]] = Counter()
+        self.word_count = 0
+
+    def add(self, word: Word) -> None:
+        """Fold one word (a sequence of element names) into the state."""
+        self.word_count += 1
+        counts = Counter(word)
+        self.alphabet.update(counts)
+        self.arrows.update(zip(word, word[1:]))
+        self.profiles[frozenset(counts.items())] += 1
+
+    def add_all(self, words: Iterable[Word]) -> None:
+        for word in words:
+            self.add(word)
+
+    # -- Algorithm 3 -----------------------------------------------------------
+
+    def _equivalence_classes(self) -> list[tuple[str, ...]]:
+        """SCCs of the arrow digraph = the classes of ``≈W``."""
+        graph = {symbol: set() for symbol in self.alphabet}
+        for a, b in self.arrows:
+            graph[a].add(b)
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[tuple[str, ...]] = []
+        counter = 0
+        for root in sorted(self.alphabet):
+            if root in index_of:
+                continue
+            work = [(root, iter(sorted(graph[root])))]
+            index_of[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index_of:
+                        index_of[successor] = low[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(sorted(graph[successor]))))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        low[node] = min(low[node], index_of[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+        return components
+
+    def _hasse(
+        self, classes: list[tuple[str, ...]]
+    ) -> dict[int, set[int]]:
+        """Cover edges of the induced partial order on ``classes``."""
+        class_of = {
+            symbol: index
+            for index, members in enumerate(classes)
+            for symbol in members
+        }
+        direct: dict[int, set[int]] = {index: set() for index in range(len(classes))}
+        for a, b in self.arrows:
+            u, v = class_of[a], class_of[b]
+            if u != v:
+                direct[u].add(v)
+        # Transitive reduction of the condensation DAG.
+        reachable: dict[int, set[int]] = {}
+
+        def reach(node: int) -> set[int]:
+            if node not in reachable:
+                reachable[node] = set()  # breaks no cycles: DAG
+                closure: set[int] = set()
+                for successor in direct[node]:
+                    closure.add(successor)
+                    closure.update(reach(successor))
+                reachable[node] = closure
+            return reachable[node]
+
+        hasse: dict[int, set[int]] = {index: set() for index in direct}
+        for node, successors in direct.items():
+            for successor in successors:
+                if not any(
+                    successor in reach(other)
+                    for other in successors
+                    if other != successor
+                ):
+                    hasse[node].add(successor)
+        return hasse
+
+    @staticmethod
+    def _merge_singletons(
+        classes: list[tuple[str, ...]], hasse: dict[int, set[int]]
+    ) -> list[tuple[str, ...]]:
+        """Steps 2–3: merge maximal same-neighbourhood singleton sets."""
+        merged = {index: set(members) for index, members in enumerate(classes)}
+        singleton = {index for index, members in enumerate(classes) if len(members) == 1}
+        changed = True
+        while changed:
+            changed = False
+            predecessors: dict[int, frozenset[int]] = {
+                index: frozenset(
+                    tail for tail, heads in hasse.items() if index in heads
+                )
+                for index in merged
+            }
+            groups: dict[tuple[frozenset[int], frozenset[int]], list[int]] = {}
+            for index in sorted(singleton & merged.keys()):
+                key = (predecessors[index], frozenset(hasse[index]))
+                groups.setdefault(key, []).append(index)
+            for members in groups.values():
+                if len(members) < 2:
+                    continue
+                keeper, *absorbed = members
+                for index in absorbed:
+                    merged[keeper].update(merged[index])
+                    for heads in hasse.values():
+                        if index in heads:
+                            heads.discard(index)
+                            heads.add(keeper)
+                    hasse[keeper].update(hasse[index])
+                    hasse[keeper].discard(keeper)
+                    del hasse[index]
+                    del merged[index]
+                    singleton.discard(index)
+                singleton.discard(keeper)  # no longer a singleton
+                changed = True
+                break  # neighbourhoods changed: recompute before next merge
+        return [tuple(sorted(merged[index])) for index in sorted(merged)]
+
+    def _topological_order(
+        self, classes: list[tuple[str, ...]]
+    ) -> list[tuple[str, ...]]:
+        """Kahn's algorithm with a lexicographic tie-break.
+
+        The partial order leaves incomparable classes (those never
+        co-occurring in a word) in arbitrary relative order; breaking
+        ties by the smallest member name makes the output independent
+        of the order in which the sample was presented.
+        """
+        hasse = self._hasse(classes)
+        indegree = {index: 0 for index in range(len(classes))}
+        for heads in hasse.values():
+            for head in heads:
+                indegree[head] += 1
+
+        def tie_break(index: int) -> str:
+            return min(classes[index])
+
+        available = [
+            index for index, degree in indegree.items() if degree == 0
+        ]
+        order: list[int] = []
+        while available:
+            node = min(available, key=tie_break)
+            available.remove(node)
+            order.append(node)
+            for head in hasse[node]:
+                indegree[head] -= 1
+                if indegree[head] == 0:
+                    available.append(head)
+        return [classes[index] for index in order]
+
+    def summaries(self) -> list[ClassSummary]:
+        """The ordered factor summaries (classes + quantifiers)."""
+        if not self.alphabet:
+            return []
+        classes = self._equivalence_classes()
+        hasse = self._hasse(classes)
+        classes = self._merge_singletons(classes, hasse)
+        ordered = self._topological_order(classes)
+        # Per-class count bounds in one pass over the distinct profiles.
+        class_of = {
+            symbol: index
+            for index, members in enumerate(ordered)
+            for symbol in members
+        }
+        minima = [None] * len(ordered)
+        maxima = [0] * len(ordered)
+        for profile, _multiplicity in self.profiles.items():
+            totals = [0] * len(ordered)
+            for symbol, count in profile:
+                totals[class_of[symbol]] += count
+            for index, total in enumerate(totals):
+                if minima[index] is None or total < minima[index]:
+                    minima[index] = total
+                if total > maxima[index]:
+                    maxima[index] = total
+        result: list[ClassSummary] = []
+        for index, members in enumerate(ordered):
+            minimum = minima[index] if minima[index] is not None else 0
+            maximum = maxima[index]
+            result.append(
+                ClassSummary(
+                    members=members,
+                    minimum=minimum,
+                    maximum=maximum,
+                    quantifier=quantifier_for(minimum, maximum),
+                )
+            )
+        return result
+
+    def infer(self) -> Regex:
+        """The CHARE for the data seen so far (Algorithm 3)."""
+        factors: list[Regex] = []
+        for summary in self.summaries():
+            base = disj(*syms(summary.members))
+            if summary.quantifier == "?":
+                factors.append(Opt(base))
+            elif summary.quantifier == "+":
+                factors.append(Plus(base))
+            elif summary.quantifier == "*":
+                factors.append(Star(base))
+            else:
+                factors.append(base)
+        if not factors:
+            raise ValueError(
+                "cannot infer an expression from empty content only"
+            )
+        return concat(*factors)
+
+
+def crx(words: Iterable[Word]) -> Regex:
+    """Infer a CHARE from example words, ``W ⊆ L(crx(W))`` (Theorem 3).
+
+    Runs in ``O(m + n³)`` for data size ``m`` and alphabet size ``n``.
+    Empty words are fine: the factors become optional as needed.
+    """
+    state = CrxState()
+    state.add_all(words)
+    return state.infer()

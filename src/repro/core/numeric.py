@@ -1,0 +1,184 @@
+"""Numerical predicates (Section 9).
+
+SOREs cannot count: ``a a b b+`` ("two a's then at least two b's") is
+out of reach.  The paper extends REs with numerical predicates ``r=i``
+and ``r>=i`` — XML Schema's ``minOccurs``/``maxOccurs`` — and suggests
+a post-processing step that tightens ``+`` and ``*`` based on the exact
+occurrence counts in the data.
+
+:func:`annotate_numeric` implements that step for single occurrence
+expressions.  Because every symbol occurs once in a SORE, matching is
+greedy-deterministic, so the number of loop iterations of each ``+``
+and ``*`` subexpression is well defined per word; the observed
+iteration counts then determine the predicate:
+
+* constant count ``k``       → ``r{k,k}``    (the paper's ``r=k``)
+* minimum ``m >= 2``          → ``r{m,}``     (the paper's ``r>=m``)
+* otherwise                   → unchanged.
+
+The resulting :class:`~repro.regex.ast.Repeat` nodes render as
+``r{2,}`` in text and as ``minOccurs``/``maxOccurs`` in generated XSDs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..regex.ast import (
+    Concat,
+    Disj,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+)
+from ..regex.classify import is_single_occurrence
+
+Word = Sequence[str]
+
+
+class _NoMatch(Exception):
+    pass
+
+
+def _first_symbols(node: Regex) -> frozenset[str]:
+    if isinstance(node, Sym):
+        return frozenset((node.name,))
+    if isinstance(node, (Opt, Plus, Star, Repeat)):
+        return _first_symbols(node.inner)
+    if isinstance(node, Disj):
+        return frozenset().union(*(_first_symbols(o) for o in node.options))
+    if isinstance(node, Concat):
+        first: set[str] = set()
+        for part in node.parts:
+            first |= _first_symbols(part)
+            if not part.nullable():
+                break
+        return frozenset(first)
+    raise TypeError(f"unknown node {node!r}")
+
+
+class _CountingMatcher:
+    """Deterministic matcher that records loop iterations per node.
+
+    Valid for single occurrence expressions: each symbol belongs to a
+    unique subexpression, so "does the next symbol re-enter this loop?"
+    has a unique answer (greedy matching is exact).
+    """
+
+    def __init__(self, regex: Regex) -> None:
+        self.regex = regex
+        self.visits: dict[int, list[int]] = {}
+        self._ids: dict[int, Regex] = {}
+        for node in regex.walk():
+            if isinstance(node, (Plus, Star)):
+                self.visits[id(node)] = []
+                self._ids[id(node)] = node
+
+    def consume(self, word: Word) -> bool:
+        try:
+            index = self._match(self.regex, word, 0)
+        except _NoMatch:
+            return False
+        return index == len(word)
+
+    def _match(self, node: Regex, word: Word, index: int) -> int:
+        if isinstance(node, Sym):
+            if index < len(word) and word[index] == node.name:
+                return index + 1
+            raise _NoMatch
+        if isinstance(node, Concat):
+            for part in node.parts:
+                index = self._match(part, word, index)
+            return index
+        if isinstance(node, Disj):
+            for option in node.options:
+                if index < len(word) and word[index] in _first_symbols(option):
+                    return self._match(option, word, index)
+            for option in node.options:
+                if option.nullable():
+                    return self._match(option, word, index)
+            raise _NoMatch
+        if isinstance(node, Opt):
+            if index < len(word) and word[index] in _first_symbols(node.inner):
+                return self._match(node.inner, word, index)
+            return index
+        if isinstance(node, (Plus, Star)):
+            iterations = 0
+            first = _first_symbols(node.inner)
+            if isinstance(node, Plus):
+                index = self._match(node.inner, word, index)
+                iterations = 1
+            while index < len(word) and word[index] in first:
+                index = self._match(node.inner, word, index)
+                iterations += 1
+            self.visits[id(node)].append(iterations)
+            return index
+        if isinstance(node, Repeat):
+            first = _first_symbols(node.inner)
+            count = 0
+            while (
+                (node.high is None or count < node.high)
+                and index < len(word)
+                and word[index] in first
+            ):
+                index = self._match(node.inner, word, index)
+                count += 1
+            if count < node.low:
+                raise _NoMatch
+            return index
+        raise TypeError(f"unknown node {node!r}")
+
+
+def annotate_numeric(
+    regex: Regex,
+    words: Sequence[Word],
+    max_exact: int = 16,
+) -> Regex:
+    """Tighten ``+``/``*`` into numerical predicates from the data.
+
+    Only loops whose observed iteration counts justify a stronger
+    statement are changed; ``max_exact`` caps the constant for ``r=k``
+    rewrites (a loop always seen exactly 900 times is more likely
+    unbounded than genuinely fixed).  Words that the expression does
+    not accept are ignored (they contribute no evidence).
+
+    Raises ``ValueError`` for non-single-occurrence expressions, where
+    greedy iteration counting would be ambiguous.
+    """
+    if not is_single_occurrence(regex):
+        raise ValueError(
+            "numerical annotation requires a single occurrence expression"
+        )
+    matcher = _CountingMatcher(regex)
+    accepted = sum(1 for word in words if matcher.consume(word))
+    if not accepted:
+        return regex
+
+    def rebuild(node: Regex) -> Regex:
+        if isinstance(node, Sym):
+            return node
+        if isinstance(node, (Plus, Star)):
+            inner = rebuild(node.inner)
+            observed = matcher.visits[id(node)]
+            if observed:
+                low, high = min(observed), max(observed)
+                if low >= 1:
+                    if low == high and high <= max_exact:
+                        return Repeat(inner, low, high)
+                    if low >= 2:
+                        return Repeat(inner, low, None)
+            return Plus(inner) if isinstance(node, Plus) else Star(inner)
+        if isinstance(node, Concat):
+            return Concat(tuple(rebuild(part) for part in node.parts))
+        if isinstance(node, Disj):
+            return Disj(tuple(rebuild(option) for option in node.options))
+        if isinstance(node, Opt):
+            return Opt(rebuild(node.inner))
+        if isinstance(node, Repeat):
+            return Repeat(rebuild(node.inner), node.low, node.high)
+        raise TypeError(f"unknown node {node!r}")
+
+    return rebuild(regex)

@@ -1,0 +1,243 @@
+"""Repair rules for iDTD (Section 6).
+
+When the sample behind a SOA is not representative, ``rewrite`` gets
+stuck: some edges of the intended automaton are missing, so no rule
+precondition holds.  iDTD then *adds* a small set of edges — which can
+only grow the language, keeping Theorem 2's ``L(A) ⊆ L(iDTD(A))`` —
+chosen so that a rewrite rule becomes enabled:
+
+* **enable-disjunction** equalises the neighbourhoods of a set of
+  near-interchangeable states so ``disjunction`` can merge them.  Its
+  precondition (b) (mutually adjacent states) fires on the Figure 2
+  automaton for ``{a, c}`` and restores exactly the edges missing
+  relative to Figure 1.  Precondition (a) accepts pairs whose
+  neighbourhoods differ by at most ``k`` states on each side and
+  overlap.
+* **enable-optional** adds all bypass edges around a state so
+  ``optional`` fires (and immediately removes them again); its
+  precondition (a) wants at least one bypass edge as evidence, (b)
+  covers the chain case ``Pred(r) = {r'}``.
+
+Following the paper's implementation notes, precondition (a) of
+enable-disjunction is only considered for pairs and the fuzziness
+parameter defaults to ``k = 2``.  Within enable-disjunction we try the
+strong-evidence precondition (b) before the similarity heuristic (a);
+this is what reproduces the paper's Figure 2 → Figure 1 repair (on that
+automaton, (a) would prefer the pair ``{b, c}`` and derive a different
+super-approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.gfa import GFA, SINK, SOURCE, Closure
+
+
+@dataclass(frozen=True, slots=True)
+class Repair:
+    """One repair action: the rule used and the edges to add."""
+
+    rule: str  # "enable_disjunction_b" | "enable_disjunction_a" | ...
+    nodes: tuple[int, ...]
+    new_edges: tuple[tuple[int, int], ...]
+
+    def apply(self, gfa: GFA) -> None:
+        for tail, head in self.new_edges:
+            gfa.add_edge(tail, head)
+
+
+def _has_internal_edge(gfa: GFA, members: tuple[int, ...]) -> bool:
+    return any(gfa.has_edge(tail, head) for tail in members for head in members)
+
+
+def _equalising_edges(
+    gfa: GFA, closure: Closure, members: tuple[int, ...]
+) -> tuple[tuple[int, int], ...]:
+    """The minimal edge additions enabling ``disjunction`` on ``members``.
+
+    Externally, every member's closure neighbourhood is raised to the
+    union of the members' neighbourhoods (outside the set itself).
+    Internally, if any graph edge runs between members, the member
+    clique is completed — including self-loops — so the merged set
+    lands in case (ii) of the disjunction dichotomy.  On the Figure 2
+    automaton with ``members = {a, c}`` this yields exactly the seven
+    edges missing relative to Figure 1.
+    """
+    member_set = set(members)
+    pred_union = set().union(*(closure.pred[m] for m in members)) - member_set
+    succ_union = set().union(*(closure.succ[m] for m in members)) - member_set
+    additions: set[tuple[int, int]] = set()
+    for member in members:
+        for predecessor in pred_union - closure.pred[member]:
+            if predecessor != SINK:
+                additions.add((predecessor, member))
+        for successor in succ_union - closure.succ[member]:
+            if successor != SOURCE:
+                additions.add((member, successor))
+    if _has_internal_edge(gfa, members):
+        for tail in members:
+            for head in members:
+                if not gfa.has_edge(tail, head):
+                    additions.add((tail, head))
+    return tuple(sorted(edge for edge in additions if not gfa.has_edge(*edge)))
+
+
+def find_enable_disjunction_b(gfa: GFA, closure: Closure) -> Repair | None:
+    """Precondition (b): a set of mutually adjacent states.
+
+    Every member must be a closure-predecessor *and* -successor of every
+    other member.  We grow a maximal clique greedily from the best pair
+    and prefer candidates needing the fewest new edges.
+    """
+    nodes = sorted(gfa.nodes())
+    mutual = {
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if u < v
+        and v in closure.succ[u]
+        and v in closure.pred[u]
+        and u in closure.succ[v]
+        and u in closure.pred[v]
+    }
+    if not mutual:
+        return None
+    best: Repair | None = None
+    for u, v in sorted(mutual):
+        clique = [u, v]
+        for candidate in nodes:
+            if candidate in clique:
+                continue
+            if all(
+                (min(candidate, member), max(candidate, member)) in mutual
+                for member in clique
+            ):
+                clique.append(candidate)
+        members = tuple(sorted(clique))
+        edges = _equalising_edges(gfa, closure, members)
+        repair = Repair("enable_disjunction_b", members, edges)
+        if best is None or len(edges) < len(best.new_edges):
+            best = repair
+    return best
+
+
+def find_enable_disjunction_a(
+    gfa: GFA, closure: Closure, k: int
+) -> Repair | None:
+    """Precondition (a) for pairs: overlapping, nearly equal neighbourhoods.
+
+    Neighbourhoods are compared modulo the pair itself (matching the
+    disjunction rule's semantics), and the pair's internal structure
+    must be absent or mutual: a one-directional edge between the two
+    candidates means they are sequenced, not interchangeable — merging
+    them would over-generalise (e.g. folding the trailing ``a5*`` of
+    Table 2's example4 into the big disjunction).
+    """
+    nodes = sorted(gfa.nodes())
+    best: Repair | None = None
+    for index, u in enumerate(nodes):
+        for v in nodes[index + 1 :]:
+            pair = {u, v}
+            pred_u, pred_v = closure.pred[u] - pair, closure.pred[v] - pair
+            succ_u, succ_v = closure.succ[u] - pair, closure.succ[v] - pair
+            if not (pred_u & pred_v) or not (succ_u & succ_v):
+                continue
+            if (
+                len(pred_u - pred_v) > k
+                or len(pred_v - pred_u) > k
+                or len(succ_u - succ_v) > k
+                or len(succ_v - succ_u) > k
+            ):
+                continue
+            forward = gfa.has_edge(u, v)
+            backward = gfa.has_edge(v, u)
+            if forward != backward:
+                continue  # sequenced, not interchangeable
+            edges = _equalising_edges(gfa, closure, (u, v))
+            if not edges:
+                continue
+            if best is None or len(edges) < len(best.new_edges):
+                best = Repair("enable_disjunction_a", (u, v), edges)
+    return best
+
+
+def _bypass_edges(
+    gfa: GFA, closure: Closure, node: int
+) -> tuple[tuple[int, int], ...]:
+    """All missing Pred(node) × (Succ(node) \\ {node}) edges."""
+    additions = [
+        (predecessor, successor)
+        for predecessor in closure.pred[node] - {node}
+        for successor in closure.succ[node] - {node}
+        if predecessor != SINK
+        and successor != SOURCE
+        and not gfa.has_edge(predecessor, successor)
+        and successor not in closure.succ[predecessor]
+    ]
+    return tuple(sorted(set(additions)))
+
+
+def find_enable_optional_a(gfa: GFA, closure: Closure) -> Repair | None:
+    """Precondition (a): at least one bypass edge already exists.
+
+    Among the candidates, prefer the node whose repair adds the fewest
+    edges (so removes the most relative to what it adds — the paper
+    notes case (a) nets at least one removed edge).
+    """
+    best: Repair | None = None
+    for node in sorted(gfa.nodes()):
+        if gfa.labels[node].nullable():
+            continue
+        predecessors = closure.pred[node]
+        successors = closure.succ[node] - {node}
+        has_bypass = any(
+            gfa.has_edge(predecessor, successor)
+            for predecessor in predecessors
+            for successor in successors
+        )
+        if not has_bypass:
+            continue
+        edges = _bypass_edges(gfa, closure, node)
+        if not edges:
+            continue  # optional is already enabled; rewrite handles it
+        if best is None or len(edges) < len(best.new_edges):
+            best = Repair("enable_optional_a", (node,), edges)
+    return best
+
+
+def find_enable_optional_b(gfa: GFA, closure: Closure, k: int) -> Repair | None:
+    """Precondition (b): a chain node, ``Pred(r) = {r'}``, small fan-out."""
+    best: Repair | None = None
+    for node in sorted(gfa.nodes()):
+        if gfa.labels[node].nullable():
+            continue
+        predecessors = closure.pred[node]
+        if len(predecessors) != 1:
+            continue
+        (sole,) = predecessors
+        if sole in (SOURCE, SINK):
+            continue
+        if len(closure.succ[sole] - {node, sole}) > k:
+            continue
+        edges = _bypass_edges(gfa, closure, node)
+        if not edges:
+            continue
+        if best is None or len(edges) < len(best.new_edges):
+            best = Repair("enable_optional_b", (node,), edges)
+    return best
+
+
+def find_repair(gfa: GFA, k: int) -> Repair | None:
+    """The paper's repair ladder: rule 1 before rule 2, (b) before (a)."""
+    closure = gfa.closure()
+    for finder in (
+        lambda: find_enable_disjunction_b(gfa, closure),
+        lambda: find_enable_disjunction_a(gfa, closure, k),
+        lambda: find_enable_optional_a(gfa, closure),
+        lambda: find_enable_optional_b(gfa, closure, k),
+    ):
+        repair = finder()
+        if repair is not None and repair.new_edges:
+            return repair
+    return None

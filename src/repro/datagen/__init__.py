@@ -1,0 +1,51 @@
+"""Data generation: the ToXgene substitute plus the paper's corpora.
+
+* :func:`random_word` / :func:`sample_words` — random draws from an RE;
+* :func:`representative_sample` — deterministic 2-gram-covering
+  samples (what "all relevant examples present" means operationally);
+* :data:`TABLE1` / :data:`TABLE2` / :data:`FIGURE4_TARGETS` — the
+  paper's concrete expressions with expected learner outputs;
+* :class:`XmlGenerator` — random XML documents from a DTD;
+* noise injection for the Section 9 experiments.
+"""
+
+from .corpora import (
+    FIGURE4_DAGGER,
+    FIGURE4_TARGETS,
+    REFINFO_ELEMENT_NAMES,
+    TABLE1,
+    TABLE2,
+    Table1Row,
+    Table2Row,
+    table1_row,
+    table2_row,
+)
+from .noise import NoisyCorpus, inject_intruders, perturb
+from .strings import (
+    padded_sample,
+    random_word,
+    representative_sample,
+    sample_words,
+)
+from .xmlgen import XmlGenerator, serialize
+
+__all__ = [
+    "FIGURE4_DAGGER",
+    "FIGURE4_TARGETS",
+    "NoisyCorpus",
+    "REFINFO_ELEMENT_NAMES",
+    "TABLE1",
+    "TABLE2",
+    "Table1Row",
+    "Table2Row",
+    "XmlGenerator",
+    "inject_intruders",
+    "padded_sample",
+    "perturb",
+    "random_word",
+    "representative_sample",
+    "sample_words",
+    "serialize",
+    "table1_row",
+    "table2_row",
+]

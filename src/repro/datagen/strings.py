@@ -1,0 +1,184 @@
+"""Generation of example words from a target regular expression.
+
+The paper's experiments need two kinds of data the authors obtained
+from the ToXgene generator:
+
+* **random samples** drawn from a target expression (Tables 1–2), and
+* **representative samples** — samples whose 2-grams cover the whole
+  SOA of the target ("taking care that all relevant examples were
+  present to ensure the target expression could be learned"),
+  the starting point of the Figure 4 critical-size protocol.
+
+Both are implemented over the Glushkov automaton so they work for any
+expression, not just SOREs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from ..regex.ast import (
+    Concat,
+    Disj,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+)
+from ..regex.glushkov import Glushkov, glushkov
+
+Word = tuple[str, ...]
+
+
+def random_word(
+    regex: Regex,
+    rng: random.Random,
+    repeat_continue: float = 0.4,
+    optional_probability: float = 0.5,
+    max_repeat: int = 8,
+) -> Word:
+    """Draw one word from ``L(regex)``.
+
+    ``repeat_continue`` is the geometric continuation probability of
+    ``+``/``*`` loops (capped at ``max_repeat`` iterations);
+    ``optional_probability`` is the chance of taking an optional part.
+    """
+
+    def geometric(minimum: int) -> int:
+        count = minimum
+        while count < max_repeat and rng.random() < repeat_continue:
+            count += 1
+        return count
+
+    def build(node: Regex) -> list[str]:
+        if isinstance(node, Sym):
+            return [node.name]
+        if isinstance(node, Concat):
+            word: list[str] = []
+            for part in node.parts:
+                word.extend(build(part))
+            return word
+        if isinstance(node, Disj):
+            return build(rng.choice(node.options))
+        if isinstance(node, Opt):
+            if rng.random() < optional_probability:
+                return build(node.inner)
+            return []
+        if isinstance(node, Plus):
+            return [s for _ in range(geometric(1)) for s in build(node.inner)]
+        if isinstance(node, Star):
+            return [s for _ in range(geometric(0)) for s in build(node.inner)]
+        if isinstance(node, Repeat):
+            high = node.high if node.high is not None else node.low + max_repeat
+            return [
+                s
+                for _ in range(rng.randint(node.low, high))
+                for s in build(node.inner)
+            ]
+        raise TypeError(f"unknown regex node: {node!r}")
+
+    return tuple(build(regex))
+
+
+def sample_words(
+    regex: Regex,
+    count: int,
+    rng: random.Random,
+    **kwargs: float,
+) -> list[Word]:
+    """Draw ``count`` words independently (duplicates allowed, like a corpus)."""
+    return [random_word(regex, rng, **kwargs) for _ in range(count)]
+
+
+def _shortest_paths(automaton: Glushkov) -> tuple[dict[int, Word], dict[int, Word]]:
+    """For each position: a shortest word-prefix reaching it, and a
+    shortest word-suffix from it to an accepting position (inclusive of
+    the position's own symbol in the prefix, exclusive in the suffix)."""
+    labels = automaton.labels
+    prefix: dict[int, Word] = {}
+    queue: deque[int] = deque()
+    for position in sorted(automaton.first):
+        prefix[position] = (labels[position],)
+        queue.append(position)
+    while queue:
+        position = queue.popleft()
+        for successor in sorted(automaton.follow[position]):
+            if successor not in prefix:
+                prefix[successor] = prefix[position] + (labels[successor],)
+                queue.append(successor)
+
+    reverse: dict[int, set[int]] = {p: set() for p in range(len(labels))}
+    for position in range(len(labels)):
+        for successor in automaton.follow[position]:
+            reverse[successor].add(position)
+    suffix: dict[int, Word] = {}
+    queue = deque()
+    for position in sorted(automaton.last):
+        suffix[position] = ()
+        queue.append(position)
+    while queue:
+        position = queue.popleft()
+        for predecessor in sorted(reverse[position]):
+            if predecessor not in suffix:
+                suffix[predecessor] = (labels[position],) + suffix[position]
+                queue.append(predecessor)
+    return prefix, suffix
+
+
+def representative_sample(regex: Regex) -> list[Word]:
+    """A deterministic sample covering the full SOA of ``regex``.
+
+    Contains, for every Glushkov edge ``(p, q)``, a witness word that
+    crosses it, plus a witness per start position (and the empty word
+    when the expression is nullable).  Running 2T-INF on the result
+    yields exactly the 2-gram automaton of the expression — for a SORE,
+    *the* SOA of Proposition 1 — so ``rewrite`` recovers the target
+    without repairs.
+    """
+    automaton = glushkov(regex)
+    prefix, suffix = _shortest_paths(automaton)
+    words: list[Word] = []
+    seen: set[Word] = set()
+
+    def emit(word: Word) -> None:
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+
+    if automaton.nullable:
+        emit(())
+    for position in sorted(automaton.first):
+        emit(prefix[position] + suffix[position])
+    for position in range(len(automaton.labels)):
+        if position not in prefix:
+            continue  # unreachable position: contributes no words
+        for successor in sorted(automaton.follow[position]):
+            if successor not in suffix:
+                continue
+            emit(
+                prefix[position]
+                + (automaton.labels[successor],)
+                + suffix[successor]
+            )
+    return words
+
+
+def padded_sample(
+    regex: Regex,
+    size: int,
+    rng: random.Random,
+    **kwargs: float,
+) -> list[Word]:
+    """A representative sample padded with random draws up to ``size``.
+
+    This mirrors the generated corpora of Table 2: large random samples
+    that are guaranteed to contain all relevant examples.  If the
+    representative core alone exceeds ``size`` it is returned whole.
+    """
+    words = representative_sample(regex)
+    while len(words) < size:
+        words.append(random_word(regex, rng, **kwargs))
+    rng.shuffle(words)
+    return words

@@ -1,0 +1,146 @@
+"""Random XML document generation from a DTD (the ToXgene role).
+
+Given a DTD, produce random documents conforming to it: element
+content is sampled from the content-model expression via
+:func:`repro.datagen.strings.random_word`, text content is filled from
+per-type value generators, and recursion depth is capped (beyond the
+cap, recursive children resolve to their shallowest expansion, so
+generation always terminates even on recursive DTDs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from ..regex.ast import Regex
+from ..xmlio.dtd import Any, Children, Dtd, Empty, Mixed
+from ..xmlio.tree import Document, Element
+from .strings import random_word
+
+_WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+    "golf", "hotel", "india", "juliett", "kilo", "lima",
+)
+
+
+def default_text(rng: random.Random) -> str:
+    """Nonsense-but-plausible PCDATA."""
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(1, 5)))
+
+
+class XmlGenerator:
+    """Samples documents from a DTD.
+
+    ``text_makers`` overrides text generation per element name (e.g.
+    produce integers for a ``year`` element so datatype sniffing has
+    something to find).
+    """
+
+    def __init__(
+        self,
+        dtd: Dtd,
+        rng: random.Random,
+        max_depth: int = 12,
+        text_makers: Mapping[str, Callable[[random.Random], str]] | None = None,
+        repeat_continue: float = 0.4,
+    ) -> None:
+        if dtd.start is None or dtd.start not in dtd.elements:
+            raise ValueError("the DTD needs a declared start element")
+        self.dtd = dtd
+        self.rng = rng
+        self.max_depth = max_depth
+        self.text_makers = dict(text_makers or {})
+        self.repeat_continue = repeat_continue
+
+    def _content_word(self, regex: Regex, depth: int) -> tuple[str, ...]:
+        # Near the depth cap, bias repetitions/optionals towards the
+        # shortest expansion to force termination of recursive models.
+        if depth >= self.max_depth:
+            return random_word(
+                regex, self.rng, repeat_continue=0.0, optional_probability=0.0,
+                max_repeat=1,
+            )
+        return random_word(
+            regex, self.rng, repeat_continue=self.repeat_continue
+        )
+
+    def _text_for(self, name: str) -> str:
+        maker = self.text_makers.get(name, default_text)
+        return maker(self.rng)
+
+    def _element(self, name: str, depth: int) -> Element:
+        element = Element(name=name)
+        for attribute in self.dtd.attributes.get(name, ()):
+            required = attribute.default == "#REQUIRED"
+            if required or self.rng.random() < 0.5:
+                element.attributes[attribute.name] = self._attribute_value(
+                    attribute.attribute_type
+                )
+        model = self.dtd.elements.get(name, Any())
+        if isinstance(model, Empty):
+            return element
+        if isinstance(model, Mixed):
+            element.text_chunks.append(self._text_for(name))
+            for child in model.names:
+                if depth < self.max_depth and self.rng.random() < 0.3:
+                    element.append(self._element(child, depth + 1))
+                    element.text_chunks.append(self._text_for(name))
+            return element
+        if isinstance(model, Children):
+            for child in self._content_word(model.regex, depth):
+                element.append(self._element(child, depth + 1))
+            return element
+        # ANY: keep it leaf-like but textual.
+        element.text_chunks.append(self._text_for(name))
+        return element
+
+    def _attribute_value(self, attribute_type: str) -> str:
+        if attribute_type.startswith("("):
+            choices = attribute_type.strip("()").split("|")
+            return self.rng.choice(choices)
+        if attribute_type == "NMTOKEN":
+            return self.rng.choice(_WORDS)
+        return default_text(self.rng)
+
+    def document(self) -> Document:
+        """One random document conforming to the DTD."""
+        return Document(root=self._element(self.dtd.start, 0))
+
+    def corpus(self, count: int) -> list[Document]:
+        """``count`` independent random documents."""
+        return [self.document() for _ in range(count)]
+
+
+def serialize(document: Document, indent: bool = True) -> str:
+    """Render a document back to XML text."""
+    lines: list[str] = ['<?xml version="1.0" encoding="UTF-8"?>']
+
+    def escape(text: str) -> str:
+        return (
+            text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+
+    def attr_escape(text: str) -> str:
+        return escape(text).replace('"', "&quot;")
+
+    def emit(element: Element, depth: int) -> None:
+        pad = "  " * depth if indent else ""
+        attrs = "".join(
+            f' {name}="{attr_escape(value)}"'
+            for name, value in element.attributes.items()
+        )
+        text = escape(element.text().strip())
+        if not element.children and not text:
+            lines.append(f"{pad}<{element.name}{attrs}/>")
+            return
+        if not element.children:
+            lines.append(f"{pad}<{element.name}{attrs}>{text}</{element.name}>")
+            return
+        lines.append(f"{pad}<{element.name}{attrs}>{text}")
+        for child in element.children:
+            emit(child, depth + 1)
+        lines.append(f"{pad}</{element.name}>")
+
+    emit(document.root, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""The generalisation protocol of Section 8.2 (Figure 4).
+
+For a target expression and a learner, measure how many example
+strings are needed to recover the learner's own target expression:
+
+1. generate a representative sample for the target;
+2. derive the learner's reference output from the *full* sample
+   (``r_crx`` / ``r_iDTD`` in the paper's notation);
+3. for each candidate size, draw ``trials`` reservoir subsamples
+   (constrained to mention every alphabet symbol), run the learner,
+   and count how often the reference output is recovered;
+4. the *critical size* is the smallest size at which every tested
+   subsample succeeds.
+
+``rewrite`` participates as a learner that fails whenever the
+subsample's SOA has no equivalent SORE — the gap between its curve and
+iDTD's is the paper's evidence that the repair rules work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.crx import crx
+from ..core.idtd import idtd
+from ..core.rewrite import rewrite
+from ..learning.sampling import covering_subsample
+from ..learning.tinf import tinf
+from ..regex.ast import Regex
+from ..regex.normalize import syntactically_equal
+
+Word = tuple[str, ...]
+Learner = Callable[[Sequence[Word]], Regex]
+
+
+def rewrite_learner(words: Sequence[Word]) -> Regex:
+    """``rewrite`` without repairs; raises when no equivalent SORE exists."""
+    result = rewrite(tinf(words))
+    if result.regex is None:
+        raise _RewriteFailed()
+    return result.regex
+
+
+class _RewriteFailed(Exception):
+    pass
+
+
+LEARNERS: dict[str, Learner] = {
+    "crx": crx,
+    "idtd": idtd,
+    "rewrite": rewrite_learner,
+}
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (sample size, success fraction) measurement."""
+
+    size: int
+    successes: int
+    trials: int
+
+    @property
+    def fraction(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+@dataclass
+class SuccessCurve:
+    """A full curve for one learner on one target."""
+
+    learner: str
+    reference: Regex
+    points: list[CurvePoint]
+
+    def critical_size(self) -> int | None:
+        """Smallest tested size from which *all* trials succeeded onward."""
+        critical: int | None = None
+        for point in sorted(self.points, key=lambda p: p.size):
+            if point.successes == point.trials:
+                if critical is None:
+                    critical = point.size
+            else:
+                critical = None
+        return critical
+
+
+def learner_reference(learner: str, full_sample: Sequence[Word]) -> Regex:
+    """The learner's own target: its output on the full sample.
+
+    When ``rewrite`` fails even on the full sample (the target has no
+    equivalent SORE — e.g. Figure 4's example4 panel), the iDTD
+    reference is used instead; the rewrite curve is then flat at zero,
+    which is exactly the paper's middle plot.
+    """
+    try:
+        return LEARNERS[learner](full_sample)
+    except _RewriteFailed:
+        return LEARNERS["idtd"](full_sample)
+
+
+def success_curve(
+    learner: str,
+    full_sample: Sequence[Word],
+    sizes: Sequence[int],
+    trials: int,
+    rng: random.Random,
+    reference: Regex | None = None,
+) -> SuccessCurve:
+    """Measure the success fraction at each subsample size.
+
+    Success means the learner's output on the subsample equals (up to
+    commutativity of ``+``) its output on the full sample, as in the
+    paper's protocol.  Subsamples are constrained to mention every
+    symbol of the full sample; the constraint is the paper's own
+    ("for fair comparison").
+    """
+    if reference is None:
+        reference = learner_reference(learner, full_sample)
+    run = LEARNERS[learner]
+    required = frozenset(
+        symbol for word in full_sample for symbol in word
+    )
+    points: list[CurvePoint] = []
+    for size in sizes:
+        successes = 0
+        for _ in range(trials):
+            subsample = covering_subsample(
+                full_sample, size, rng, required_symbols=required
+            )
+            try:
+                derived = run(subsample)
+            except Exception:
+                continue  # failure to produce = failure to recover
+            if syntactically_equal(derived, reference):
+                successes += 1
+        points.append(CurvePoint(size=size, successes=successes, trials=trials))
+    return SuccessCurve(learner=learner, reference=reference, points=points)
+
+
+def figure4_panel(
+    full_sample: Sequence[Word],
+    sizes: Sequence[int],
+    trials: int,
+    rng: random.Random,
+    learners: Sequence[str] = ("crx", "idtd", "rewrite"),
+) -> dict[str, SuccessCurve]:
+    """All three curves of one Figure 4 panel."""
+    return {
+        learner: success_curve(learner, full_sample, sizes, trials, rng)
+        for learner in learners
+    }

@@ -1,0 +1,84 @@
+"""Quality metrics for inferred expressions.
+
+The paper evaluates along three axes — accuracy, conciseness, speed.
+Conciseness is token counts; accuracy is how tightly the inferred
+language fits the target.  Because learners return supersets by design,
+we quantify accuracy as *language precision*: the probability that a
+word of the inferred language belongs to the target, estimated over the
+words of bounded length (exact, via shortlex enumeration) or by random
+sampling for large alphabets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..regex.ast import Regex
+from ..regex.language import (
+    enumerate_words,
+    language_equivalent,
+    language_included,
+    matches,
+)
+from ..datagen.strings import random_word
+
+
+@dataclass(frozen=True)
+class Fit:
+    """How an inferred expression relates to a target language."""
+
+    includes_target: bool  # L(target) ⊆ L(inferred): no false rejections
+    equivalent: bool
+    precision_estimate: float  # P[word of inferred ∈ target]
+
+    @property
+    def exact(self) -> bool:
+        return self.equivalent
+
+
+def language_fit(
+    inferred: Regex,
+    target: Regex,
+    max_length: int = 12,
+    enumeration_limit: int = 4000,
+    samples: int = 500,
+    rng: random.Random | None = None,
+) -> Fit:
+    """Measure how well ``inferred`` approximates ``target``.
+
+    Precision is computed exactly over the first ``enumeration_limit``
+    words (shortlex) of the inferred language when that is exhaustive
+    enough, falling back to ``samples`` random draws otherwise.
+    """
+    includes = language_included(target, inferred)
+    equivalent = includes and language_included(inferred, target)
+    if equivalent:
+        return Fit(includes_target=True, equivalent=True, precision_estimate=1.0)
+    words = list(
+        enumerate_words(inferred, max_length=max_length, limit=enumeration_limit)
+    )
+    if not words:
+        rng = rng or random.Random(0)
+        words = [random_word(inferred, rng) for _ in range(samples)]
+    hits = sum(1 for word in words if matches(target, word))
+    return Fit(
+        includes_target=includes,
+        equivalent=False,
+        precision_estimate=hits / len(words) if words else 0.0,
+    )
+
+
+def token_count(regex: Regex) -> int:
+    """The paper's size measure (symbols + operators)."""
+    return regex.token_count()
+
+
+def conciseness_ratio(big: Regex, small: Regex) -> float:
+    """How many times larger ``big`` is than ``small`` in tokens."""
+    return token_count(big) / token_count(small)
+
+
+def equivalent(first: Regex, second: Regex) -> bool:
+    """Exact language equality (re-exported for bench convenience)."""
+    return language_equivalent(first, second)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of benchmark results (paper-style tables).
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep the formatting in one place so every bench looks alike
+and EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+    title: str | None = None
+
+    def add(self, *cells: object) -> None:
+        self.rows.append(tuple(str(cell) for cell in cells))
+
+    def render(self, max_cell: int = 76) -> str:
+        def clip(cell: str) -> str:
+            return cell if len(cell) <= max_cell else cell[: max_cell - 1] + "…"
+
+        rows = [[clip(cell) for cell in row] for row in self.rows]
+        headers = [clip(str(h)) for h in self.headers]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def ascii_curve(
+    pairs: Sequence[tuple[int, float]], width: int = 50, label: str = ""
+) -> str:
+    """A one-line-per-point ASCII rendering of a success curve."""
+    lines = [f"{label}"] if label else []
+    for size, fraction in pairs:
+        bar = "#" * round(fraction * width)
+        lines.append(f"{size:>6}  {fraction:5.2f}  {bar}")
+    return "\n".join(lines)

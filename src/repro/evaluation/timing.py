@@ -1,0 +1,35 @@
+"""Wall-clock measurement helpers for the Section 8.3 experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timed:
+    """A result together with how long it took to produce."""
+
+    value: object
+    seconds: float
+
+
+def timed(function: Callable[[], T]) -> Timed:
+    """Run ``function`` once, returning its value and elapsed seconds."""
+    start = time.perf_counter()
+    value = function()
+    return Timed(value=value, seconds=time.perf_counter() - start)
+
+
+def best_of(function: Callable[[], T], repeats: int = 3) -> Timed:
+    """The fastest of ``repeats`` runs (reduces scheduler noise)."""
+    best: Timed | None = None
+    for _ in range(repeats):
+        current = timed(function)
+        if best is None or current.seconds < best.seconds:
+            best = current
+    assert best is not None
+    return best

@@ -1,0 +1,30 @@
+"""Learning substrate: automaton inference, sampling, incremental, noise.
+
+* :func:`tinf` — 2T-INF (Garcia & Vidal), Section 4; plus the
+  k-testable generalisation :func:`ktinf`;
+* :func:`reservoir_sample` / :func:`covering_subsample` — the sampling
+  protocol of the Figure 4 experiments;
+* :class:`IncrementalSOA` / :class:`IncrementalCRX` — Section 9
+  incremental computation;
+* :class:`WeightedSOA` / :func:`idtd_denoised` — Section 9 noise
+  handling with per-edge supports.
+"""
+
+from .incremental import IncrementalCRX, IncrementalSOA
+from .noise import DenoisedResult, WeightedSOA, idtd_denoised
+from .sampling import covering_subsample, reservoir_sample
+from .tinf import KTestableAutomaton, ktinf, sample_two_grams, tinf
+
+__all__ = [
+    "DenoisedResult",
+    "IncrementalCRX",
+    "IncrementalSOA",
+    "KTestableAutomaton",
+    "WeightedSOA",
+    "covering_subsample",
+    "idtd_denoised",
+    "ktinf",
+    "reservoir_sample",
+    "sample_two_grams",
+    "tinf",
+]

@@ -1,0 +1,130 @@
+"""Incremental computation (Section 9).
+
+When XML data trickles in — answers to queries, web-service results —
+the schema should be updatable from the new data alone.  Both learners
+admit this because both work from a small internal representation:
+
+* iDTD needs only the SOA (the ``(I, F, S)`` triple), which is
+  quadratic in the number of element names and monotone under new
+  words;
+* CRX needs the sibling pre-order plus per-word occurrence counters
+  (:class:`repro.core.crx.CrxState` is already incremental).
+
+The classes here wrap those representations behind a common
+``add`` / ``infer`` interface and track whether anything changed, so
+callers can skip re-deriving when new data adds no new evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..automata.soa import SOA
+from ..core.crx import CrxState, quantifier_for
+from ..core.idtd import idtd_from_soa
+from ..regex.ast import Regex
+
+Word = Sequence[str]
+
+
+class IncrementalSOA:
+    """Maintains the 2T-INF automaton across arriving words.
+
+    ``add`` returns True when the word added new evidence (a new
+    symbol, 2-gram, start/final symbol, or the empty word); the cached
+    inferred expression is invalidated only in that case.
+    """
+
+    def __init__(self) -> None:
+        self.soa = SOA()
+        self._cached: Regex | None = None
+
+    def add(self, word: Word) -> bool:
+        changed = False
+        soa = self.soa
+        if not word:
+            if not soa.accepts_empty:
+                soa.accepts_empty = True
+                changed = True
+        else:
+            for symbol in word:
+                if symbol not in soa.symbols:
+                    soa.symbols.add(symbol)
+                    changed = True
+            if word[0] not in soa.initial:
+                soa.initial.add(word[0])
+                changed = True
+            if word[-1] not in soa.final:
+                soa.final.add(word[-1])
+                changed = True
+            for gram in zip(word, word[1:]):
+                if gram not in soa.edges:
+                    soa.edges.add(gram)
+                    changed = True
+        if changed:
+            self._cached = None
+        return changed
+
+    def add_all(self, words: Iterable[Word]) -> bool:
+        changed = False
+        for word in words:
+            changed = self.add(word) or changed
+        return changed
+
+    def infer(self) -> Regex:
+        """The iDTD expression for all data seen so far (cached)."""
+        if self._cached is None:
+            if not self.soa.symbols:
+                raise ValueError("no non-empty content seen yet")
+            self._cached = idtd_from_soa(self.soa).regex
+        return self._cached
+
+
+class IncrementalCRX:
+    """Incremental CRX: change-tracking wrapper over CrxState.
+
+    ``add`` returns True when the new word can change the inferred
+    CHARE: it introduced a new symbol or sibling pair (the class
+    structure may change), or its per-class occurrence counts flip a
+    factor's quantifier.  Otherwise the cached expression stays valid.
+    """
+
+    def __init__(self) -> None:
+        self.state = CrxState()
+        self._cached: Regex | None = None
+        self._summaries = None
+
+    def add(self, word: Word) -> bool:
+        state = self.state
+        new_structure = any(symbol not in state.alphabet for symbol in word) or any(
+            gram not in state.arrows for gram in zip(word, word[1:])
+        )
+        state.add(word)
+        if new_structure or self._summaries is None:
+            self._invalidate()
+            return True
+        for summary in self._summaries:
+            members = set(summary.members)
+            count = sum(1 for symbol in word if symbol in members)
+            minimum = min(summary.minimum, count)
+            maximum = max(summary.maximum, count)
+            if quantifier_for(minimum, maximum) != summary.quantifier:
+                self._invalidate()
+                return True
+        return False
+
+    def _invalidate(self) -> None:
+        self._cached = None
+        self._summaries = None
+
+    def add_all(self, words: Iterable[Word]) -> bool:
+        changed = False
+        for word in words:
+            changed = self.add(word) or changed
+        return changed
+
+    def infer(self) -> Regex:
+        if self._cached is None:
+            self._summaries = self.state.summaries()
+            self._cached = self.state.infer()
+        return self._cached

@@ -1,0 +1,218 @@
+"""Noise handling (Section 9).
+
+Real XML is dirty: the paper's XHTML survey found disallowed children
+(``table`` under ``<p>``, …) in a handful of the 30 000+ paragraph
+occurrences examined.  Two counter-measures are described:
+
+* **support thresholding** — disregard element names whose support
+  (number of words mentioning them) falls below a threshold;
+* **support-aware iDTD** — annotate every SOA edge with its support;
+  run the unmodified rewrite rules while they apply, and when rewrite
+  gets stuck, try *deleting* low-support edges (cheap, evidence-poor)
+  before resorting to repair rules (which can only generalise).
+
+Deleting edges shrinks the language, so unlike Theorem 2 the result is
+not guaranteed to cover the whole (noisy) sample — that is the point:
+the noise should be excluded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..automata.soa import SOA
+from ..core.idtd import IdtdResult, idtd_from_soa
+from ..core.rewrite import rewrite
+from ..regex.ast import Regex
+
+Word = Sequence[str]
+
+
+@dataclass
+class WeightedSOA:
+    """A SOA whose parts carry support counts (words contributing them)."""
+
+    soa: SOA
+    edge_support: Counter = field(default_factory=Counter)
+    initial_support: Counter = field(default_factory=Counter)
+    final_support: Counter = field(default_factory=Counter)
+    symbol_support: Counter = field(default_factory=Counter)
+    word_count: int = 0
+
+    @classmethod
+    def from_words(cls, words: Iterable[Word]) -> "WeightedSOA":
+        weighted = cls(soa=SOA())
+        for word in words:
+            weighted.add(word)
+        return weighted
+
+    def add(self, word: Word) -> None:
+        self.word_count += 1
+        soa = self.soa
+        if not word:
+            soa.accepts_empty = True
+            return
+        soa.symbols.update(word)
+        soa.initial.add(word[0])
+        soa.final.add(word[-1])
+        self.initial_support[word[0]] += 1
+        self.final_support[word[-1]] += 1
+        for symbol in set(word):
+            self.symbol_support[symbol] += 1
+        for gram in zip(word, word[1:]):
+            soa.edges.add(gram)
+            self.edge_support[gram] += 1
+
+    def prune_symbols(self, min_support: int) -> "WeightedSOA":
+        """Drop element names supported by fewer than ``min_support`` words.
+
+        This is the paper's simple noise counter-measure; it removes the
+        state and all incident edges.
+        """
+        keep = {
+            symbol
+            for symbol in self.soa.symbols
+            if self.symbol_support[symbol] >= min_support
+        }
+        soa = SOA(
+            symbols=set(keep),
+            initial=self.soa.initial & keep,
+            final=self.soa.final & keep,
+            edges={
+                (a, b) for (a, b) in self.soa.edges if a in keep and b in keep
+            },
+            accepts_empty=self.soa.accepts_empty,
+        )
+        pruned = WeightedSOA(
+            soa=soa,
+            edge_support=Counter(
+                {
+                    edge: count
+                    for edge, count in self.edge_support.items()
+                    if edge[0] in keep and edge[1] in keep
+                }
+            ),
+            initial_support=Counter(
+                {s: c for s, c in self.initial_support.items() if s in keep}
+            ),
+            final_support=Counter(
+                {s: c for s, c in self.final_support.items() if s in keep}
+            ),
+            symbol_support=Counter(
+                {s: c for s, c in self.symbol_support.items() if s in keep}
+            ),
+            word_count=self.word_count,
+        )
+        return pruned
+
+
+@dataclass
+class DenoisedResult:
+    """Outcome of support-aware inference."""
+
+    regex: Regex
+    dropped_symbols: list[str]
+    dropped_edges: list[tuple[str, str]]
+    repaired: bool
+
+
+def idtd_denoised(
+    words: Sequence[Word],
+    symbol_threshold: int = 0,
+    edge_threshold: int = 0,
+    k: int = 2,
+    eager: bool = True,
+) -> DenoisedResult:
+    """Support-aware iDTD.
+
+    1. Symbols below ``symbol_threshold`` support are disregarded.
+    2. Low-support structure (2-gram edges, start/final memberships at
+       or below ``edge_threshold``) is deleted: all of it up front when
+       ``eager`` (the default — noise is noise), or one piece at a time
+       and only when ``rewrite`` is stuck when ``eager=False`` (the
+       paper's literal formulation, which keeps low-support evidence
+       that rewrite can still absorb).
+    3. When no deletable structure remains, the ordinary repair rules
+       of iDTD finish the job.
+
+    With both thresholds 0 this is exactly iDTD.
+    """
+    weighted = WeightedSOA.from_words(words)
+    dropped_symbols: list[str] = []
+    if symbol_threshold > 0:
+        before = set(weighted.soa.symbols)
+        weighted = weighted.prune_symbols(symbol_threshold)
+        dropped_symbols = sorted(before - weighted.soa.symbols)
+    if not weighted.soa.symbols:
+        raise ValueError(
+            "all element names fell below the support threshold; "
+            "nothing left to infer from"
+        )
+    soa = weighted.soa.trimmed()
+    dropped_edges: list[tuple[str, str]] = []
+
+    def deletable_items() -> list[tuple[int, tuple[str, str]]]:
+        """Low-support structure: 2-gram edges plus the virtual
+        source/final edges (a noisy word also pollutes I and F);
+        ``_SRC_``/``_SNK_`` markers record those in ``dropped_edges``."""
+        items: list[tuple[int, tuple[str, str]]] = []
+        for edge in soa.edges:
+            support = weighted.edge_support[edge]
+            if support <= edge_threshold:
+                items.append((support, edge))
+        if len(soa.initial) > 1:
+            for symbol in soa.initial:
+                support = weighted.initial_support[symbol]
+                if support <= edge_threshold:
+                    items.append((support, ("_SRC_", symbol)))
+        if len(soa.final) > 1:
+            for symbol in soa.final:
+                support = weighted.final_support[symbol]
+                if support <= edge_threshold:
+                    items.append((support, (symbol, "_SNK_")))
+        return items
+
+    def delete(victim: tuple[str, str]) -> None:
+        nonlocal soa
+        if victim[0] == "_SRC_":
+            soa.initial.discard(victim[1])
+        elif victim[1] == "_SNK_":
+            soa.final.discard(victim[0])
+        else:
+            soa.edges.discard(victim)
+        dropped_edges.append(victim)
+        soa = soa.trimmed()
+        if not soa.symbols:
+            raise ValueError(
+                "edge pruning disconnected the automaton; "
+                "lower the edge threshold"
+            )
+
+    if eager:
+        while True:
+            items = deletable_items()
+            if not items:
+                break
+            delete(min(items)[1])
+    while True:
+        result = rewrite(soa.copy())
+        if result.succeeded:
+            return DenoisedResult(
+                regex=result.regex,
+                dropped_symbols=dropped_symbols,
+                dropped_edges=dropped_edges,
+                repaired=False,
+            )
+        items = deletable_items()
+        if not items:
+            break
+        delete(min(items)[1])
+    final: IdtdResult = idtd_from_soa(soa, k=k)
+    return DenoisedResult(
+        regex=final.regex,
+        dropped_symbols=dropped_symbols,
+        dropped_edges=dropped_edges,
+        repaired=final.repaired,
+    )

@@ -1,0 +1,88 @@
+"""Sampling utilities for the generalisation experiments.
+
+Section 8.2 measures, for each learner, the *critical size*: the
+smallest sample size from which the target expression is always
+recovered.  The protocol draws 200 subsamples per size with reservoir
+sampling; we implement Vitter's Algorithm R plus a helper that enforces
+the paper's fairness constraint ("it is ensured that the subsamples
+contain all alphabet symbols of the target expressions").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def reservoir_sample(
+    items: Iterable[T], size: int, rng: random.Random
+) -> list[T]:
+    """Uniform sample without replacement via Algorithm R.
+
+    Works in one pass over ``items`` using O(size) memory, which is the
+    point of reservoir sampling: the stream (an XML corpus) need not be
+    materialised.  If the stream has fewer than ``size`` items they are
+    all returned.
+    """
+    if size < 0:
+        raise ValueError("sample size must be non-negative")
+    reservoir: list[T] = []
+    for index, item in enumerate(items):
+        if index < size:
+            reservoir.append(item)
+        else:
+            slot = rng.randint(0, index)
+            if slot < size:
+                reservoir[slot] = item
+    return reservoir
+
+
+def covering_subsample(
+    words: Sequence[Sequence[str]],
+    size: int,
+    rng: random.Random,
+    required_symbols: frozenset[str] | set[str] | None = None,
+    max_attempts: int = 50,
+) -> list[Sequence[str]]:
+    """A reservoir subsample required to mention every target symbol.
+
+    Mirrors the Figure-4 protocol: subsamples that miss an alphabet
+    symbol of the target are rejected (no learner could possibly emit a
+    symbol it never saw, so counting those draws would only measure
+    coupon-collecting).  After ``max_attempts`` rejections the sample
+    is topped up deterministically with the shortest words covering the
+    missing symbols.
+    """
+    if required_symbols is None:
+        required_symbols = {symbol for word in words for symbol in word}
+    required = set(required_symbols)
+    for _ in range(max_attempts):
+        sample = reservoir_sample(words, size, rng)
+        seen = {symbol for word in sample for symbol in word}
+        if required <= seen:
+            return sample
+    # Deterministic top-up: overwrite sample slots left to right with
+    # the shortest words covering missing symbols.  Placed words are
+    # never evicted (the write position only advances), so the loop
+    # terminates with full coverage whenever the word list allows it.
+    sample = reservoir_sample(words, size, rng)
+    position = 0
+    for _ in range(size + len(required) + 1):
+        seen = {symbol for word in sample for symbol in word}
+        missing = required - seen
+        if not missing:
+            break
+        covering = sorted(
+            (word for word in words if missing & set(word)),
+            key=lambda word: (len(word), tuple(word)),
+        )
+        if not covering:
+            break  # the word list itself cannot cover the requirement
+        if position < len(sample):
+            sample[position] = covering[0]
+        else:
+            sample.append(covering[0])
+        position += 1
+    return sample

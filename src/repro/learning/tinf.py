@@ -1,0 +1,117 @@
+"""2T-INF: inference of 2-testable languages (Garcia & Vidal).
+
+Section 4 of the paper: from a sample ``W`` of strings, collect
+
+* ``I`` — the first symbols,
+* ``F`` — the last symbols,
+* ``S`` — the union of all 2-grams (adjacent symbol pairs),
+
+and build the SOA with an edge ``src→a`` for ``a ∈ I``, ``a→snk`` for
+``a ∈ F`` and ``a→b`` for ``ab ∈ S``.  The resulting automaton accepts
+the smallest 2-testable language containing ``W``; when ``W`` is a
+representative sample of a SORE (all its 2-grams are present) the SOA
+is *the* SOA of that SORE (Proposition 1) and ``rewrite`` recovers it.
+
+The generalisation to k-testable languages (k-grams determine the
+language) is provided for the ablation experiments; 2T-INF is
+``ktinf(W, k=2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..automata.soa import SOA
+
+Word = Sequence[str]
+
+
+def sample_two_grams(
+    words: Iterable[Word],
+) -> tuple[set[str], set[str], set[tuple[str, str]], set[str], bool]:
+    """Collect ``(I, F, S, alphabet, has_empty)`` from a sample."""
+    initial: set[str] = set()
+    final: set[str] = set()
+    grams: set[tuple[str, str]] = set()
+    alphabet: set[str] = set()
+    has_empty = False
+    for word in words:
+        if not word:
+            has_empty = True
+            continue
+        initial.add(word[0])
+        final.add(word[-1])
+        alphabet.update(word)
+        grams.update(zip(word, word[1:]))
+    return initial, final, grams, alphabet, has_empty
+
+
+def tinf(words: Iterable[Word]) -> SOA:
+    """Infer the 2T-INF automaton ``G_W`` from a sample of words.
+
+    Words are sequences of element names.  An empty sample yields the
+    SOA of the empty language; empty words set ``accepts_empty``.
+    """
+    initial, final, grams, alphabet, has_empty = sample_two_grams(words)
+    return SOA(
+        symbols=alphabet,
+        initial=initial,
+        final=final,
+        edges=grams,
+        accepts_empty=has_empty,
+    )
+
+
+class KTestableAutomaton:
+    """The k-testable analogue of a SOA, for the k>2 ablation.
+
+    States are (k-1)-grams; a word is accepted iff its prefix of length
+    k-1, its suffix of length k-1 and all its k-grams were observed.
+    Words shorter than k-1 are memorised verbatim (the standard
+    treatment of short strings in k-testable inference).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError("k-testable inference requires k >= 2")
+        self.k = k
+        self.prefixes: set[tuple[str, ...]] = set()
+        self.suffixes: set[tuple[str, ...]] = set()
+        self.grams: set[tuple[str, ...]] = set()
+        self.short_words: set[tuple[str, ...]] = set()
+
+    def add(self, word: Word) -> None:
+        word_tuple = tuple(word)
+        window = self.k - 1
+        if len(word_tuple) < self.k:
+            self.short_words.add(word_tuple)
+            if len(word_tuple) == window:
+                self.prefixes.add(word_tuple)
+                self.suffixes.add(word_tuple)
+            return
+        self.prefixes.add(word_tuple[:window])
+        self.suffixes.add(word_tuple[-window:])
+        for index in range(len(word_tuple) - window):
+            self.grams.add(word_tuple[index : index + self.k])
+
+    def accepts(self, word: Word) -> bool:
+        word_tuple = tuple(word)
+        if len(word_tuple) < self.k:
+            return word_tuple in self.short_words
+        window = self.k - 1
+        if word_tuple[:window] not in self.prefixes:
+            return False
+        if word_tuple[-window:] not in self.suffixes:
+            return False
+        return all(
+            word_tuple[index : index + self.k] in self.grams
+            for index in range(len(word_tuple) - window)
+        )
+
+
+def ktinf(words: Iterable[Word], k: int) -> KTestableAutomaton:
+    """Infer the smallest k-testable language containing the sample."""
+    automaton = KTestableAutomaton(k)
+    for word in words:
+        automaton.add(word)
+    return automaton

@@ -1,0 +1,318 @@
+"""Abstract syntax trees for the regular expressions of the paper.
+
+The paper (Section 3) defines regular expressions over a finite
+alphabet of element names: every symbol is an RE, and if ``r``, ``s``
+are REs so are ``r . s`` (concatenation), ``r + s`` (disjunction),
+``r?``, ``r+`` and ``r*``.  Neither the empty string nor the empty
+language are basic expressions.
+
+This module provides an immutable AST for that grammar plus one
+extension used in Section 9, bounded repetition (``Repeat``), which
+models the numerical predicates ``r=i`` / ``r>=i`` and the XML-Schema
+``minOccurs`` / ``maxOccurs`` attributes.
+
+Nodes are hashable and compare structurally, which the rest of the
+library relies on (e.g. memo tables in the matcher and syntactic
+equality checks in the benchmarks).  Use :mod:`repro.regex.normalize`
+for equality up to commutativity of ``+`` and operator normal forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class Regex:
+    """Base class of all regular expression nodes.
+
+    Subclasses are frozen dataclasses; instances are immutable and
+    hashable.  The base class carries the operations that every node
+    supports.
+    """
+
+    __slots__ = ()
+
+    # -- structural queries -------------------------------------------------
+
+    def children(self) -> tuple["Regex", ...]:
+        """The direct sub-expressions of this node."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """True iff the empty string belongs to the denoted language."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of alphabet symbols occurring in the expression."""
+        return frozenset(node.name for node in self.walk() if isinstance(node, Sym))
+
+    def symbol_occurrences(self) -> dict[str, int]:
+        """How many times each alphabet symbol occurs *syntactically*.
+
+        A SORE is precisely an expression where every count is 1.
+        """
+        counts: dict[str, int] = {}
+        for node in self.walk():
+            if isinstance(node, Sym):
+                counts[node.name] = counts.get(node.name, 0) + 1
+        return counts
+
+    def token_count(self) -> int:
+        """Number of tokens: symbol occurrences plus operators.
+
+        This is the conciseness measure the paper uses when it reports
+        e.g. "an expression of 185 tokens" for XTRACT output.  Every
+        symbol occurrence, every binary operator joint (``.`` and
+        ``+``), and every unary operator counts as one token;
+        parentheses do not count.
+        """
+        total = 0
+        for node in self.walk():
+            if isinstance(node, Sym):
+                total += 1
+            elif isinstance(node, (Concat, Disj)):
+                total += len(node.children()) - 1
+            else:  # Opt / Plus / Star / Repeat
+                total += 1
+        return total
+
+    # -- convenience combinators -------------------------------------------
+
+    def opt(self) -> "Regex":
+        return Opt(self)
+
+    def plus(self) -> "Regex":
+        return Plus(self)
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        from .printer import to_paper_syntax
+
+        return to_paper_syntax(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Regex):
+    """A single alphabet symbol (an XML element name)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alphabet symbols must be non-empty strings")
+
+    def children(self) -> tuple[Regex, ...]:
+        return ()
+
+    def nullable(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"Sym({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Concatenation ``r1 . r2 . ... . rn`` with n >= 2."""
+
+    parts: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts; use concat()")
+        if any(isinstance(part, Concat) for part in self.parts):
+            raise ValueError(
+                "Concat parts must be flattened; build with concat()"
+            )
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Concat({', '.join(map(repr, self.parts))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Disj(Regex):
+    """Disjunction ``r1 + r2 + ... + rn`` with n >= 2."""
+
+    options: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError("Disj requires at least two options; use disj()")
+        if any(isinstance(option, Disj) for option in self.options):
+            raise ValueError(
+                "Disj options must be flattened; build with disj()"
+            )
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.options
+
+    def nullable(self) -> bool:
+        return any(option.nullable() for option in self.options)
+
+    def __repr__(self) -> str:
+        return f"Disj({', '.join(map(repr, self.options))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Opt(Regex):
+    """Zero or one occurrence: ``r?``."""
+
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Opt({self.inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Regex):
+    """One or more occurrences: ``r+``."""
+
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def __repr__(self) -> str:
+        return f"Plus({self.inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Zero or more occurrences: ``r*``."""
+
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Star({self.inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(Regex):
+    """Bounded repetition ``r{low, high}`` (Section 9 extension).
+
+    ``high is None`` means unbounded, so ``Repeat(r, 2, None)`` is the
+    paper's numerical predicate ``r>=2`` and ``Repeat(r, 3, 3)`` is
+    ``r=3``.  ``Repeat`` never appears in SOREs/CHAREs proper; it is
+    produced only by the numerical post-processing step and consumed by
+    the printers and the XSD generator.
+    """
+
+    inner: Regex
+    low: int
+    high: int | None
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ValueError("Repeat lower bound must be >= 0")
+        if self.high is not None and self.high < max(self.low, 1):
+            raise ValueError("Repeat upper bound must be >= max(low, 1)")
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return self.low == 0 or self.inner.nullable()
+
+    def __repr__(self) -> str:
+        return f"Repeat({self.inner!r}, {self.low}, {self.high})"
+
+
+# -- smart constructors -----------------------------------------------------
+
+
+def sym(name: str) -> Sym:
+    """Build a symbol node."""
+    return Sym(name)
+
+
+def syms(names: Iterable[str]) -> list[Sym]:
+    """Build a list of symbol nodes from an iterable of names."""
+    return [Sym(name) for name in names]
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenate expressions, flattening nested concatenations.
+
+    ``concat(r)`` is ``r`` itself; zero arguments are rejected because
+    the paper's grammar has no epsilon expression.
+    """
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        raise ValueError("concat() of zero expressions: epsilon is not an RE")
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def disj(*options: Regex) -> Regex:
+    """Disjoin expressions, flattening nested disjunctions.
+
+    Duplicate options (structurally equal) are collapsed, preserving
+    first-seen order; ``disj(r)`` is ``r`` itself.
+    """
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for option in options:
+        parts = option.options if isinstance(option, Disj) else (option,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        raise ValueError("disj() of zero expressions: the empty language is not an RE")
+    if len(flat) == 1:
+        return flat[0]
+    return Disj(tuple(flat))
+
+
+def chain_factor(names: Iterable[str], quantifier: str = "") -> Regex:
+    """Build a CHARE factor ``(a1 + ... + ak)`` with an optional quantifier.
+
+    ``quantifier`` is one of ``""``, ``"?"``, ``"+"``, ``"*"``.  This is
+    the shape CRX emits (Algorithm 3, steps 5-13).
+    """
+    base = disj(*syms(names))
+    if quantifier == "":
+        return base
+    if quantifier == "?":
+        return Opt(base)
+    if quantifier == "+":
+        return Plus(base)
+    if quantifier == "*":
+        return Star(base)
+    raise ValueError(f"unknown quantifier {quantifier!r}")

@@ -1,0 +1,70 @@
+"""Classifiers for the paper's expression classes.
+
+* **SORE** (single occurrence regular expression): every alphabet
+  symbol occurs at most once.  Example: ``((b? (a + c))+ d)+ e``.
+  ``a (a + b)*`` is not a SORE (``a`` occurs twice).
+* **CHARE** (chain regular expression): a SORE of the shape
+  ``f1 f2 ... fn`` where every factor ``fi`` is ``(a1 + ... + ak)``,
+  optionally quantified by ``?``, ``+`` or ``*``, with the ``ai``
+  plain alphabet symbols.  Example: ``a (b + c)* d+ (e + f)?``.
+  ``(a b + c)*`` and ``(a* + b?)*`` are not CHAREs.
+
+Every SORE is deterministic (one-unambiguous) as required by the XML
+specification; :func:`is_deterministic` checks the property for
+arbitrary expressions via the Glushkov criterion.
+"""
+
+from __future__ import annotations
+
+from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+from .glushkov import glushkov
+
+
+def is_single_occurrence(regex: Regex) -> bool:
+    """Every alphabet symbol occurs at most once, syntactically."""
+    return all(count == 1 for count in regex.symbol_occurrences().values())
+
+
+def is_sore(regex: Regex) -> bool:
+    """Is ``regex`` a single occurrence regular expression?
+
+    ``Repeat`` nodes (the Section 9 numerical extension) are excluded:
+    the SORE grammar only has ``.``, ``+``, ``?``, ``+``, ``*``.
+    """
+    if any(isinstance(node, Repeat) for node in regex.walk()):
+        return False
+    return is_single_occurrence(regex)
+
+
+def _is_chare_base(node: Regex) -> bool:
+    """``a`` or ``(a1 + ... + ak)`` with plain, distinct symbols."""
+    if isinstance(node, Sym):
+        return True
+    if isinstance(node, Disj):
+        return all(isinstance(option, Sym) for option in node.options)
+    return False
+
+
+def _is_chare_factor(node: Regex) -> bool:
+    if isinstance(node, (Opt, Plus, Star)):
+        return _is_chare_base(node.inner)
+    return _is_chare_base(node)
+
+
+def is_chare(regex: Regex) -> bool:
+    """Is ``regex`` a chain regular expression?"""
+    if not is_sore(regex):
+        return False
+    factors = regex.parts if isinstance(regex, Concat) else (regex,)
+    return all(_is_chare_factor(factor) for factor in factors)
+
+
+def is_deterministic(regex: Regex) -> bool:
+    """One-unambiguity per Brüggemann-Klein & Wood.
+
+    A deterministic expression can be matched reading the word left to
+    right, always knowing which occurrence of a symbol in the
+    expression matches the next input symbol.  DTD content models must
+    be deterministic; every SORE trivially is.
+    """
+    return glushkov(regex).is_deterministic()

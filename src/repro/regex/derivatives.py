@@ -1,0 +1,137 @@
+"""Brzozowski derivatives: a second, independent matching engine.
+
+The derivative of a language L by a symbol ``a`` is
+``a⁻¹L = { w | aw ∈ L }``; a word belongs to L iff deriving by all its
+symbols leaves a nullable language.  Derivatives work directly on the
+expression syntax — no automaton — which makes them an ideal
+*differential oracle* against the Glushkov engine: two entirely
+different code paths must agree on every membership query.
+
+Because our AST has no ε/∅ constants (the paper's grammar excludes
+them), derivatives are computed over an internal lifted form with
+``_EPSILON``/``_EMPTY`` markers that never escapes this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+
+# Internal lifted constants (never exposed).
+_EPSILON = ("ε",)
+_EMPTY = ("∅",)
+
+# A lifted expression is _EPSILON, _EMPTY, or a Regex.
+_Lifted = object
+
+
+def _is_epsilon(node: object) -> bool:
+    return node is _EPSILON
+
+
+def _is_empty(node: object) -> bool:
+    return node is _EMPTY
+
+
+def _lifted_nullable(node: object) -> bool:
+    if node is _EPSILON:
+        return True
+    if node is _EMPTY:
+        return False
+    return node.nullable()  # type: ignore[union-attr]
+
+
+def _seq(first: object, second: object) -> object:
+    """Smart concatenation over lifted expressions."""
+    if _is_empty(first) or _is_empty(second):
+        return _EMPTY
+    if _is_epsilon(first):
+        return second
+    if _is_epsilon(second):
+        return first
+    parts: list[Regex] = []
+    for part in (first, second):
+        if isinstance(part, Concat):
+            parts.extend(part.parts)
+        else:
+            parts.append(part)  # type: ignore[arg-type]
+    return Concat(tuple(parts)) if len(parts) > 1 else parts[0]
+
+
+def _alt(first: object, second: object) -> object:
+    """Smart union over lifted expressions."""
+    if _is_empty(first):
+        return second
+    if _is_empty(second):
+        return first
+    if first is second or first == second:
+        return first
+    if _is_epsilon(first):
+        if _lifted_nullable(second):
+            return second
+        return Opt(second)  # type: ignore[arg-type]
+    if _is_epsilon(second):
+        return _alt(second, first)
+    options: list[Regex] = []
+    for option in (first, second):
+        if isinstance(option, Disj):
+            options.extend(option.options)
+        else:
+            options.append(option)  # type: ignore[arg-type]
+    unique: list[Regex] = []
+    for option in options:
+        if option not in unique:
+            unique.append(option)
+    return Disj(tuple(unique)) if len(unique) > 1 else unique[0]
+
+
+def _derive(node: object, symbol: str) -> object:
+    if node is _EPSILON or node is _EMPTY:
+        return _EMPTY
+    if isinstance(node, Sym):
+        return _EPSILON if node.name == symbol else _EMPTY
+    if isinstance(node, Opt):
+        return _derive(node.inner, symbol)
+    if isinstance(node, Star):
+        return _seq(_derive(node.inner, symbol), node)
+    if isinstance(node, Plus):
+        return _seq(_derive(node.inner, symbol), Star(node.inner))
+    if isinstance(node, Disj):
+        result: object = _EMPTY
+        for option in node.options:
+            result = _alt(result, _derive(option, symbol))
+        return result
+    if isinstance(node, Concat):
+        head, tail = node.parts[0], node.parts[1:]
+        rest: object = (
+            tail[0] if len(tail) == 1 else Concat(tail)
+        )
+        result = _seq(_derive(head, symbol), rest)
+        if head.nullable():
+            result = _alt(result, _derive(rest, symbol))
+        return result
+    if isinstance(node, Repeat):
+        # D(r{low,high}) = D(r) . r{low-1, high-1}, clamped at zero.
+        inner, low, high = node.inner, node.low, node.high
+        derived_inner = _derive(inner, symbol)
+        if high is not None and high <= 1:
+            remainder: object = _EPSILON
+        elif high is None:
+            remainder = (
+                Repeat(inner, low - 1, None) if low > 1 else Star(inner)
+            )
+        else:
+            remainder = Repeat(inner, max(low - 1, 0), high - 1)
+        return _seq(derived_inner, remainder)
+    raise TypeError(f"unknown regex node: {node!r}")
+
+
+def matches_by_derivatives(regex: Regex, word: Sequence[str]) -> bool:
+    """Membership via repeated derivation (the differential oracle)."""
+    current: object = regex
+    for symbol in word:
+        current = _derive(current, symbol)
+        if current is _EMPTY:
+            return False
+    return _lifted_nullable(current)

@@ -1,0 +1,122 @@
+"""Decision procedures on the languages denoted by regular expressions.
+
+Everything here works through the Glushkov automaton with an on-the-fly
+subset construction, which is cheap for the expression sizes that occur
+in DTDs (the paper's largest has 61 symbols).
+
+Words are sequences of element names (``tuple[str, ...]`` or
+``list[str]``), *not* character strings: DTD content models speak about
+children element sequences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from .ast import Regex
+from .glushkov import Glushkov, glushkov
+
+# A deterministic state of the on-the-fly subset construction: the
+# frozen set of Glushkov positions we may be in.  ``None`` is the start
+# state (no symbol consumed yet).
+_State = frozenset | None
+
+
+@lru_cache(maxsize=4096)
+def _automaton(regex: Regex) -> Glushkov:
+    return glushkov(regex)
+
+
+def _step(automaton: Glushkov, state: _State, symbol: str) -> frozenset:
+    if state is None:
+        return frozenset(
+            p for p in automaton.first if automaton.labels[p] == symbol
+        )
+    return frozenset(
+        q
+        for p in state
+        for q in automaton.follow[p]
+        if automaton.labels[q] == symbol
+    )
+
+
+def _accepting(automaton: Glushkov, state: _State) -> bool:
+    if state is None:
+        return automaton.nullable
+    return any(p in automaton.last for p in state)
+
+
+def matches(regex: Regex, word: Sequence[str]) -> bool:
+    """Does ``word`` (a sequence of element names) belong to ``L(regex)``?"""
+    return _automaton(regex).accepts(word)
+
+
+def counterexample(
+    narrower: Regex, wider: Regex
+) -> tuple[str, ...] | None:
+    """A shortest word in ``L(narrower) \\ L(wider)``, or ``None``.
+
+    ``None`` therefore means ``L(narrower) ⊆ L(wider)``.
+    """
+    left = _automaton(narrower)
+    right = _automaton(wider)
+    alphabet = sorted(set(left.labels))
+    start: tuple[_State, _State] = (None, None)
+    seen: set[tuple[_State, _State]] = {start}
+    queue: deque[tuple[_State, _State, tuple[str, ...]]] = deque(
+        [(None, None, ())]
+    )
+    while queue:
+        left_state, right_state, word = queue.popleft()
+        if _accepting(left, left_state) and not _accepting(right, right_state):
+            return word
+        for symbol in alphabet:
+            next_left = _step(left, left_state, symbol)
+            if not next_left:
+                continue  # dead on the left: nothing to witness
+            next_right = _step(right, right_state, symbol)
+            key = (next_left, next_right)
+            if key not in seen:
+                seen.add(key)
+                queue.append((next_left, next_right, word + (symbol,)))
+    return None
+
+
+def language_included(narrower: Regex, wider: Regex) -> bool:
+    """``L(narrower) ⊆ L(wider)``."""
+    return counterexample(narrower, wider) is None
+
+
+def language_equivalent(first: Regex, second: Regex) -> bool:
+    """``L(first) = L(second)``."""
+    return language_included(first, second) and language_included(second, first)
+
+
+def enumerate_words(
+    regex: Regex, max_length: int, limit: int | None = None
+) -> Iterator[tuple[str, ...]]:
+    """Yield the words of ``L(regex)`` of length at most ``max_length``.
+
+    Words are produced in shortlex order (shortest first, symbols in
+    sorted order), which makes the output deterministic — handy as a
+    brute-force oracle in tests.  ``limit`` caps the number of words.
+    """
+    automaton = _automaton(regex)
+    alphabet = sorted(set(automaton.labels))
+    produced = 0
+    queue: deque[tuple[_State, tuple[str, ...]]] = deque([(None, ())])
+    while queue:
+        state, word = queue.popleft()
+        if _accepting(automaton, state):
+            yield word
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        if len(word) >= max_length:
+            continue
+        for symbol in alphabet:
+            next_state = _step(automaton, state, symbol)
+            if next_state:
+                queue.append((next_state, word + (symbol,)))

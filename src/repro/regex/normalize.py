@@ -1,0 +1,179 @@
+"""Normal forms for regular expressions.
+
+The completeness proof of ``rewrite`` (Claim 1 in Section 5) works with
+*normalized* SOREs: the transformations ``(s+)+ → s+``, ``s?? → s?``
+and ``(s?)+ → (s+)?`` are applied until no superfluous operators
+remain.  The rewrite system itself never emits a Kleene star; it
+represents ``r*`` as ``(r+)?``, and a post-processing step contracts
+that back to ``r*`` for display.
+
+This module provides both directions plus a canonical form used for
+"syntactically equal up to commutativity of +" comparisons (the success
+criterion of the Figure 4 experiments, Theorem 5).
+"""
+
+from __future__ import annotations
+
+from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym, concat, disj
+from .printer import to_paper_syntax
+
+
+def _rebuild(regex: Regex, children: list[Regex]) -> Regex:
+    if isinstance(regex, Concat):
+        return concat(*children)
+    if isinstance(regex, Disj):
+        return disj(*children)
+    if isinstance(regex, Opt):
+        return Opt(children[0])
+    if isinstance(regex, Plus):
+        return Plus(children[0])
+    if isinstance(regex, Star):
+        return Star(children[0])
+    if isinstance(regex, Repeat):
+        return Repeat(children[0], regex.low, regex.high)
+    return regex
+
+
+def expand_stars(regex: Regex) -> Regex:
+    """Replace every ``r*`` by ``(r+)?`` (the rewrite-internal form)."""
+    if isinstance(regex, Sym):
+        return regex
+    children = [expand_stars(child) for child in regex.children()]
+    if isinstance(regex, Star):
+        return Opt(Plus(children[0]))
+    return _rebuild(regex, children)
+
+
+def contract_stars(regex: Regex) -> Regex:
+    """Replace ``(r+)?`` and ``(r?)+`` by ``r*`` (Section 5 post-processing)."""
+    if isinstance(regex, Sym):
+        return regex
+    children = [contract_stars(child) for child in regex.children()]
+    rebuilt = _rebuild(regex, children)
+    if isinstance(rebuilt, Opt) and isinstance(rebuilt.inner, Plus):
+        return Star(rebuilt.inner.inner)
+    if isinstance(rebuilt, Plus) and isinstance(rebuilt.inner, Opt):
+        return Star(rebuilt.inner.inner)
+    return rebuilt
+
+
+def normalize(regex: Regex) -> Regex:
+    """Remove superfluous unary operators, keeping stars contracted.
+
+    Rules applied to a fixpoint, bottom-up::
+
+        r??     -> r?        (r+)+   -> r+       (r*)*  -> r*
+        (r?)+   -> r*        (r+)?   -> r*       (r*)?  -> r*
+        (r?)*   -> r*        (r+)*   -> r*       (r*)+  -> r*
+
+    The result is language-equivalent and unique for the unary-operator
+    layer: at most one of ``?``/``+``/``*`` wraps any subexpression.
+    """
+    if isinstance(regex, Sym):
+        return regex
+    children = [normalize(child) for child in regex.children()]
+    rebuilt = _rebuild(regex, children)
+    if isinstance(rebuilt, Opt):
+        inner = rebuilt.inner
+        if isinstance(inner, Opt):
+            return inner
+        if isinstance(inner, (Star,)):
+            return inner
+        if isinstance(inner, Plus):
+            return Star(inner.inner)
+        return rebuilt
+    if isinstance(rebuilt, Plus):
+        inner = rebuilt.inner
+        if isinstance(inner, Plus):
+            return inner
+        if isinstance(inner, Star):
+            return inner
+        if isinstance(inner, Opt):
+            return Star(inner.inner)
+        return rebuilt
+    if isinstance(rebuilt, Star):
+        inner = rebuilt.inner
+        if isinstance(inner, (Opt, Plus, Star)):
+            return Star(normalize(inner.inner))
+        return rebuilt
+    return rebuilt
+
+
+def _simplify_once(regex: Regex) -> Regex:
+    if isinstance(regex, Sym):
+        return regex
+    children = [_simplify_once(child) for child in regex.children()]
+    rebuilt = _rebuild(regex, children)
+    # (x? + y)  ->  (x + y)?   — pull optionality out of a disjunction
+    # so the parent operator can absorb it.
+    if isinstance(rebuilt, Disj) and any(
+        isinstance(option, Opt) for option in rebuilt.options
+    ):
+        stripped = [
+            option.inner if isinstance(option, Opt) else option
+            for option in rebuilt.options
+        ]
+        return Opt(disj(*stripped))
+    # (x+ + y)+ -> (x + y)+  and  (x* + y)+ -> (x + y)*: under an outer
+    # + or *, per-option repetition adds nothing.
+    if isinstance(rebuilt, (Plus, Star)) and isinstance(rebuilt.inner, Disj):
+        options = rebuilt.inner.options
+        if any(isinstance(option, (Plus, Star)) for option in options):
+            stripped = [
+                option.inner if isinstance(option, (Plus, Star)) else option
+                for option in options
+            ]
+            saw_star = any(isinstance(option, Star) for option in options)
+            core = disj(*stripped)
+            if isinstance(rebuilt, Star) or saw_star:
+                return Star(core)
+            return Plus(core)
+    return rebuilt
+
+
+def simplify(regex: Regex) -> Regex:
+    """Language-preserving conciseness cleanup, to a fixpoint.
+
+    Combines :func:`normalize` with two disjunction laws::
+
+        (x? + y)   =  (x + y)?
+        (x+ + y)+  =  (x + y)+        (x* + y)+  =  (x + y)*
+
+    These patterns arise when the rewrite rules merge a plus-like state
+    with plain states; the paper's reported expressions never contain
+    them, so iDTD applies this cleanup to its final output.
+    """
+    current = normalize(regex)
+    while True:
+        simplified = normalize(_simplify_once(current))
+        if simplified == current:
+            return current
+        current = simplified
+
+
+def canonical(regex: Regex) -> Regex:
+    """A canonical representative up to commutativity of ``+``.
+
+    Normalizes unary operators and sorts the options of every
+    disjunction by their rendered text.  Two expressions are
+    "syntactically equal up to commutativity of +" (Theorem 5) iff
+    their canonical forms are structurally equal.
+    """
+    regex = normalize(regex)
+
+    def sort_disjunctions(node: Regex) -> Regex:
+        if isinstance(node, Sym):
+            return node
+        children = [sort_disjunctions(child) for child in node.children()]
+        rebuilt = _rebuild(node, children)
+        if isinstance(rebuilt, Disj):
+            ordered = sorted(rebuilt.options, key=to_paper_syntax)
+            return disj(*ordered)
+        return rebuilt
+
+    return sort_disjunctions(regex)
+
+
+def syntactically_equal(first: Regex, second: Regex) -> bool:
+    """Equality up to commutativity of ``+`` and operator normal form."""
+    return canonical(first) == canonical(second)

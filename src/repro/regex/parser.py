@@ -1,0 +1,220 @@
+"""Parsing regular expressions from text.
+
+Accepts both syntaxes emitted by :mod:`repro.regex.printer`:
+
+* paper syntax: ``((b? (a + c))+ d)+ e`` — juxtaposition concatenates,
+  a ``+`` *surrounded by whitespace* (or following another operator)
+  disjoins, a ``+`` glued to the preceding atom is postfix one-or-more;
+* DTD syntax: ``((b?,(a|c))+,d)+,e`` — ``,`` concatenates, ``|``
+  disjoins.
+
+The two may be mixed freely.  Bounded repetition ``r{2,5}`` / ``r{3,}``
+(Section 9 numerical predicates) is also accepted.
+
+The only genuinely ambiguous corner is a ``+`` with an atom on both
+sides and no whitespace, as in ``a+b``.  Following the paper's own
+typography we resolve it as postfix-plus followed by concatenation
+(``a+ b``); write ``a + b`` or ``a|b`` for disjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Opt, Plus, Regex, Repeat, Star, Sym, concat, disj
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when the input is not a well-formed regular expression."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # IDENT, LPAREN, RPAREN, PLUS, PIPE, COMMA, QMARK, STAR, LBRACE-spec
+    text: str
+    position: int
+    preceded_by_space: bool
+
+
+_NAME_EXTRA = set("_-.:#")
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    pending_space = False
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            pending_space = True
+            index += 1
+            continue
+        start = index
+        if _is_name_char(char):
+            while index < length and _is_name_char(text[index]):
+                index += 1
+            tokens.append(_Token("IDENT", text[start:index], start, pending_space))
+        elif char == "{":
+            depth_end = text.find("}", index)
+            if depth_end < 0:
+                raise RegexSyntaxError("unterminated '{' repetition", index)
+            tokens.append(
+                _Token("REPEAT", text[index : depth_end + 1], start, pending_space)
+            )
+            index = depth_end + 1
+        else:
+            kind = {
+                "(": "LPAREN",
+                ")": "RPAREN",
+                "+": "PLUS",
+                "|": "PIPE",
+                ",": "COMMA",
+                "?": "QMARK",
+                "*": "STAR",
+            }.get(char)
+            if kind is None:
+                raise RegexSyntaxError(f"unexpected character {char!r}", index)
+            tokens.append(_Token(kind, char, start, pending_space))
+            index += 1
+        pending_space = False
+    return tokens
+
+
+def _parse_repeat_bounds(spec: str, position: int) -> tuple[int, int | None]:
+    body = spec[1:-1].strip()
+    if "," in body:
+        low_text, high_text = body.split(",", 1)
+        low_text, high_text = low_text.strip(), high_text.strip()
+    else:
+        low_text = high_text = body
+    try:
+        low = int(low_text)
+        high = int(high_text) if high_text else None
+    except ValueError as exc:
+        raise RegexSyntaxError(f"bad repetition bounds {spec!r}", position) from exc
+    return low, high
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source_length: int) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._end = source_length
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Regex:
+        expression = self._parse_disjunction()
+        leftover = self._peek()
+        if leftover is not None:
+            raise RegexSyntaxError(
+                f"unexpected {leftover.text!r}", leftover.position
+            )
+        return expression
+
+    def _parse_disjunction(self) -> Regex:
+        options = [self._parse_concatenation()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind in ("PIPE", "PLUS"):
+                # Any '+' that survives postfix parsing is binary.
+                self._advance()
+                options.append(self._parse_concatenation())
+            else:
+                break
+        return disj(*options)
+
+    def _parse_concatenation(self) -> Regex:
+        parts = [self._parse_postfix()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "COMMA":
+                self._advance()
+                parts.append(self._parse_postfix())
+            elif token.kind in ("IDENT", "LPAREN"):
+                parts.append(self._parse_postfix())
+            else:
+                break
+        return concat(*parts)
+
+    def _parse_postfix(self) -> Regex:
+        expression = self._parse_atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "QMARK":
+                self._advance()
+                expression = Opt(expression)
+            elif token.kind == "STAR":
+                self._advance()
+                expression = Star(expression)
+            elif token.kind == "REPEAT":
+                self._advance()
+                low, high = _parse_repeat_bounds(token.text, token.position)
+                expression = Repeat(expression, low, high)
+            elif token.kind == "PLUS" and not token.preceded_by_space:
+                # Glued '+': postfix one-or-more.  A *second* '+'
+                # immediately after (``a++b``) is the binary
+                # disjunction of the paper's ``a1+ + (a2 a3?)`` style,
+                # so stop consuming postfix operators there.
+                self._advance()
+                expression = Plus(expression)
+                following = self._peek()
+                if following is not None and following.kind == "PLUS":
+                    break
+            else:
+                break
+        return expression
+
+    def _parse_atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of input", self._end)
+        if token.kind == "IDENT":
+            self._advance()
+            return Sym(token.text)
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_disjunction()
+            closing = self._peek()
+            if closing is None or closing.kind != "RPAREN":
+                raise RegexSyntaxError(
+                    "expected ')'", closing.position if closing else self._end
+                )
+            self._advance()
+            return inner
+        raise RegexSyntaxError(f"unexpected {token.text!r}", token.position)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse ``text`` into a :class:`~repro.regex.ast.Regex`.
+
+    Raises :class:`RegexSyntaxError` on malformed input, including the
+    empty string (epsilon is not an RE in the paper's grammar).
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RegexSyntaxError("empty regular expression", 0)
+    return _Parser(tokens, len(text)).parse()

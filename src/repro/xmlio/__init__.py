@@ -1,0 +1,67 @@
+"""XML substrate: parser, document model, DTDs, validation, XSDs.
+
+Everything is implemented from scratch (no stdlib ``xml`` dependency):
+
+* :func:`parse_document` / :func:`parse_file` — a strict XML 1.0
+  subset parser that captures DOCTYPE internal subsets;
+* :class:`Dtd` with :func:`parse_dtd` — content models (EMPTY / ANY /
+  mixed / element content regexes) and ATTLISTs, parsing and printing;
+* :func:`extract_evidence` — child-sequence samples per element name,
+  the raw material of DTD inference;
+* :func:`validate` — DTD validation with per-violation reports;
+* :func:`dtd_to_xsd` and :func:`sniff_type` — Section 9's XSD
+  generation with datatype heuristics.
+"""
+
+from .datatypes import sniff_type
+from .diff import ElementDiff, diff_dtds, iter_diffs
+from .dtd import (
+    Any,
+    AttributeDef,
+    Children,
+    ContentModel,
+    Dtd,
+    DtdSyntaxError,
+    Empty,
+    Mixed,
+    parse_dtd,
+)
+from .extract import (
+    CorpusEvidence,
+    ElementEvidence,
+    child_sequences,
+    extract_evidence,
+)
+from .parser import XmlSyntaxError, parse_document, parse_file
+from .tree import Document, Element
+from .validate import Violation, is_valid, validate
+from .xsd import dtd_to_xsd
+
+__all__ = [
+    "Any",
+    "AttributeDef",
+    "Children",
+    "ContentModel",
+    "CorpusEvidence",
+    "Document",
+    "Dtd",
+    "DtdSyntaxError",
+    "Element",
+    "ElementDiff",
+    "diff_dtds",
+    "iter_diffs",
+    "ElementEvidence",
+    "Empty",
+    "Mixed",
+    "Violation",
+    "XmlSyntaxError",
+    "child_sequences",
+    "dtd_to_xsd",
+    "extract_evidence",
+    "is_valid",
+    "parse_document",
+    "parse_dtd",
+    "parse_file",
+    "sniff_type",
+    "validate",
+]

@@ -1,0 +1,66 @@
+"""Datatype sniffing for XSD generation (Section 9).
+
+The paper suggests improving derived XSDs with "heuristics to recognize
+times or dates, integers, doubles, nmtokens and strings".  Given the
+observed text values of an element or attribute, :func:`sniff_type`
+returns the most specific XSD built-in type that accepts all of them,
+walking the specificity ladder::
+
+    xs:boolean > xs:integer > xs:decimal > xs:double
+    xs:date > xs:time > xs:dateTime
+    xs:NMTOKEN > xs:string
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+_BOOLEAN = {"true", "false", "0", "1"}
+_INTEGER = re.compile(r"[+-]?\d+\Z")
+_DECIMAL = re.compile(r"[+-]?(\d+\.\d*|\.\d+|\d+)\Z")
+_DOUBLE = re.compile(
+    r"[+-]?((\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|INF|NaN)\Z"
+)
+_DATE = re.compile(r"\d{4}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?\Z")
+_TIME = re.compile(r"\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?\Z")
+_DATETIME = re.compile(
+    r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?\Z"
+)
+_NMTOKEN = re.compile(r"[A-Za-z0-9._:\-]+\Z")
+
+
+def _all(values: Sequence[str], predicate) -> bool:
+    return all(predicate(value) for value in values)
+
+
+def sniff_type(values: Iterable[str]) -> str:
+    """The most specific XSD built-in type accepting all ``values``.
+
+    Empty input defaults to ``xs:string`` (no evidence, no commitment).
+    Values are stripped before classification, mirroring XSD whitespace
+    facets for the numeric and temporal types.
+    """
+    stripped = [value.strip() for value in values]
+    stripped = [value for value in stripped if value]
+    if not stripped:
+        return "xs:string"
+    if _all(stripped, lambda v: v in _BOOLEAN) and any(
+        v in ("true", "false") for v in stripped
+    ):
+        return "xs:boolean"
+    if _all(stripped, lambda v: _INTEGER.match(v) is not None):
+        return "xs:integer"
+    if _all(stripped, lambda v: _DECIMAL.match(v) is not None):
+        return "xs:decimal"
+    if _all(stripped, lambda v: _DOUBLE.match(v) is not None):
+        return "xs:double"
+    if _all(stripped, lambda v: _DATE.match(v) is not None):
+        return "xs:date"
+    if _all(stripped, lambda v: _TIME.match(v) is not None):
+        return "xs:time"
+    if _all(stripped, lambda v: _DATETIME.match(v) is not None):
+        return "xs:dateTime"
+    if _all(stripped, lambda v: _NMTOKEN.match(v) is not None):
+        return "xs:NMTOKEN"
+    return "xs:string"

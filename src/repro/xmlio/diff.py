@@ -1,0 +1,127 @@
+"""Comparing DTDs: schema cleaning and noise analysis as a diff.
+
+Two of the paper's motivating applications reduce to comparing a DTD
+inferred from data against a published one:
+
+* **schema cleaning** (Section 1.1) — where is the published schema
+  looser than the data warrants? (``refinfo``'s ``volume?/month?``
+  vs the real ``(volume | month)?``);
+* **noise analysis** — where does the data exceed the official schema?
+  (XHTML ``<p>`` elements containing ``table``).
+
+:func:`diff_dtds` classifies every element's content model into
+``equal`` / ``tighter`` / ``looser`` / ``incomparable`` /
+``missing-old`` / ``missing-new`` using exact language inclusion, plus
+example words witnessing each strict difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..regex.ast import Regex, Star, Sym, disj
+from ..regex.language import counterexample
+from .dtd import Any, Children, ContentModel, Dtd, Empty, Mixed
+
+#: Relation of the NEW model's language to the OLD model's.
+Relation = str  # equal | tighter | looser | incomparable | ...
+
+
+@dataclass(frozen=True)
+class ElementDiff:
+    """How one element's content model changed from ``old`` to ``new``."""
+
+    element: str
+    relation: Relation
+    #: a child sequence the old model accepts but the new rejects
+    only_in_old: tuple[str, ...] | None = None
+    #: a child sequence the new model accepts but the old rejects
+    only_in_new: tuple[str, ...] | None = None
+
+    def __str__(self) -> str:
+        parts = [f"{self.element}: {self.relation}"]
+        if self.only_in_old is not None:
+            parts.append(f"old-only example: {' '.join(self.only_in_old) or 'ε'}")
+        if self.only_in_new is not None:
+            parts.append(f"new-only example: {' '.join(self.only_in_new) or 'ε'}")
+        return "; ".join(parts)
+
+
+def _model_regex(model: ContentModel) -> Regex | None:
+    """A regex over child names for the model, or None when anything goes.
+
+    ``EMPTY`` and text-only content have the empty child language,
+    rendered as ``(x)?``-style nullable-only via an Opt over an
+    impossible branch — we instead special-case them below.
+    """
+    if isinstance(model, Children):
+        return model.regex
+    if isinstance(model, Mixed) and model.names:
+        return Star(disj(*(Sym(name) for name in model.names)))
+    return None
+
+
+def _compare_models(old: ContentModel, new: ContentModel) -> ElementDiff | None:
+    """Relation between two models (without the element name filled in)."""
+    if isinstance(old, Any) and isinstance(new, Any):
+        return ElementDiff("", "equal")
+    if isinstance(old, Any):
+        return ElementDiff("", "tighter")
+    if isinstance(new, Any):
+        return ElementDiff("", "looser")
+
+    old_empty = isinstance(old, Empty) or (
+        isinstance(old, Mixed) and not old.names
+    )
+    new_empty = isinstance(new, Empty) or (
+        isinstance(new, Mixed) and not new.names
+    )
+    if old_empty and new_empty:
+        return ElementDiff("", "equal")
+    old_regex = _model_regex(old)
+    new_regex = _model_regex(new)
+    if old_empty:
+        # old admits only the empty child sequence
+        relation = "looser" if new_regex is not None else "equal"
+        return ElementDiff("", relation)
+    if new_empty:
+        return ElementDiff("", "tighter")
+    assert old_regex is not None and new_regex is not None
+    new_only = counterexample(new_regex, old_regex)
+    old_only = counterexample(old_regex, new_regex)
+    if new_only is None and old_only is None:
+        return ElementDiff("", "equal")
+    if new_only is None:
+        return ElementDiff("", "tighter", only_in_old=old_only)
+    if old_only is None:
+        return ElementDiff("", "looser", only_in_new=new_only)
+    return ElementDiff(
+        "", "incomparable", only_in_old=old_only, only_in_new=new_only
+    )
+
+
+def iter_diffs(old: Dtd, new: Dtd) -> Iterator[ElementDiff]:
+    """Yield one :class:`ElementDiff` per element in either DTD."""
+    for element in sorted(set(old.elements) | set(new.elements)):
+        old_model = old.elements.get(element)
+        new_model = new.elements.get(element)
+        if old_model is None:
+            yield ElementDiff(element=element, relation="missing-old")
+            continue
+        if new_model is None:
+            yield ElementDiff(element=element, relation="missing-new")
+            continue
+        comparison = _compare_models(old_model, new_model)
+        yield ElementDiff(
+            element=element,
+            relation=comparison.relation,
+            only_in_old=comparison.only_in_old,
+            only_in_new=comparison.only_in_new,
+        )
+
+
+def diff_dtds(old: Dtd, new: Dtd) -> list[ElementDiff]:
+    """All per-element differences; empty-relation filtering is the
+    caller's business (``[d for d in diff if d.relation != "equal"]``)."""
+    return list(iter_diffs(old, new))

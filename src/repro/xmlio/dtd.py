@@ -1,0 +1,229 @@
+"""DTD document model: content models, parsing and serialisation.
+
+A DTD is abstracted (Section 3) as a mapping from element names to
+regular expressions plus a start symbol.  Concretely, XML 1.0 content
+specifications also include ``EMPTY``, ``ANY`` and mixed content
+``(#PCDATA | a | b)*``; this module models all four so that real DTDs
+round-trip, while the inference core only ever deals in the
+``Children`` case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..regex.ast import Regex
+from ..regex.parser import RegexSyntaxError, parse_regex
+from ..regex.printer import to_dtd_syntax
+
+
+class DtdSyntaxError(ValueError):
+    """Raised on malformed DTD declarations."""
+
+
+@dataclass(frozen=True)
+class Empty:
+    """``EMPTY`` content: the element has no children and no text."""
+
+    def render(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class Any:
+    """``ANY`` content: anything goes."""
+
+    def render(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True)
+class Mixed:
+    """Mixed content: ``(#PCDATA)`` or ``(#PCDATA | a | b)*``."""
+
+    names: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if not self.names:
+            return "(#PCDATA)"
+        return "(#PCDATA|" + "|".join(self.names) + ")*"
+
+
+@dataclass(frozen=True)
+class Children:
+    """Element content: a deterministic regular expression over names."""
+
+    regex: Regex
+
+    def render(self) -> str:
+        body = to_dtd_syntax(self.regex)
+        if not body.startswith("("):
+            body = f"({body})"
+        return body
+
+
+ContentModel = Empty | Any | Mixed | Children
+
+
+@dataclass
+class AttributeDef:
+    """One attribute from an ``<!ATTLIST>``: type and default spec."""
+
+    name: str
+    attribute_type: str  # CDATA, ID, IDREF, NMTOKEN, enumeration "(a|b)"...
+    default: str  # #REQUIRED, #IMPLIED, #FIXED "v", or a quoted literal
+
+
+@dataclass
+class Dtd:
+    """A full DTD: element content models plus attribute lists."""
+
+    elements: dict[str, ContentModel] = field(default_factory=dict)
+    attributes: dict[str, list[AttributeDef]] = field(default_factory=dict)
+    start: str | None = None
+
+    def content_regex(self, element: str) -> Regex | None:
+        model = self.elements.get(element)
+        if isinstance(model, Children):
+            return model.regex
+        return None
+
+    def render(self) -> str:
+        """Serialise as DTD text (``<!ELEMENT>`` / ``<!ATTLIST>`` lines)."""
+        lines: list[str] = []
+        ordered = list(self.elements)
+        if self.start in self.elements:
+            ordered.remove(self.start)
+            ordered.insert(0, self.start)
+        for name in ordered:
+            lines.append(f"<!ELEMENT {name} {self.elements[name].render()}>")
+            for attribute in self.attributes.get(name, ()):
+                lines.append(
+                    f"<!ATTLIST {name} {attribute.name} "
+                    f"{attribute.attribute_type} {attribute.default}>"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_content_model(spec: str) -> ContentModel:
+    spec = spec.strip()
+    if spec == "EMPTY":
+        return Empty()
+    if spec == "ANY":
+        return Any()
+    compact = "".join(spec.split())
+    if compact.startswith("(#PCDATA"):
+        inner = compact[1:].rstrip("*")
+        inner = inner.rstrip(")")
+        parts = inner.split("|")
+        names = tuple(part for part in parts[1:] if part)
+        if names and not spec.rstrip().endswith("*"):
+            raise DtdSyntaxError(
+                f"mixed content with names must end in ')*': {spec!r}"
+            )
+        return Mixed(names=names)
+    try:
+        return Children(regex=parse_regex(spec))
+    except RegexSyntaxError as exc:
+        raise DtdSyntaxError(f"bad content model {spec!r}: {exc}") from exc
+
+
+def _declarations(text: str) -> Iterator[tuple[str, str]]:
+    """Yield (keyword, body) for every ``<!KEYWORD body>`` declaration.
+
+    Comments and processing instructions are skipped; parameter-entity
+    references are not expanded (rarely load-bearing in the corpora we
+    target, and never produced by our own serialiser).
+    """
+    index = 0
+    length = len(text)
+    while index < length:
+        start = text.find("<!", index)
+        if start < 0:
+            return
+        if text.startswith("<!--", start):
+            end = text.find("-->", start)
+            if end < 0:
+                raise DtdSyntaxError("unterminated comment in DTD")
+            index = end + 3
+            continue
+        end = text.find(">", start)
+        if end < 0:
+            raise DtdSyntaxError("unterminated declaration in DTD")
+        body = text[start + 2 : end].strip()
+        keyword, _, rest = body.partition(" ")
+        yield keyword, rest.strip()
+        index = end + 1
+
+
+def parse_dtd(text: str, start: str | None = None) -> Dtd:
+    """Parse DTD text (a ``.dtd`` file or a DOCTYPE internal subset)."""
+    dtd = Dtd(start=start)
+    for keyword, rest in _declarations(text):
+        if keyword == "ELEMENT":
+            parts = rest.split(None, 1)
+            if len(parts) != 2:
+                raise DtdSyntaxError(f"bad ELEMENT declaration: {rest!r}")
+            name, spec = parts
+            dtd.elements[name] = _parse_content_model(spec)
+            if dtd.start is None:
+                dtd.start = name
+        elif keyword == "ATTLIST":
+            _parse_attlist(rest, dtd)
+        # ENTITY / NOTATION declarations carry no structure we infer.
+    return dtd
+
+
+def _parse_attlist(rest: str, dtd: Dtd) -> None:
+    tokens = _attlist_tokens(rest)
+    if not tokens:
+        raise DtdSyntaxError("empty ATTLIST declaration")
+    element = tokens[0]
+    index = 1
+    while index < len(tokens):
+        if index + 2 > len(tokens):
+            raise DtdSyntaxError(f"truncated ATTLIST for {element!r}")
+        name = tokens[index]
+        attribute_type = tokens[index + 1]
+        index += 2
+        if attribute_type == "NOTATION" and index < len(tokens):
+            attribute_type += " " + tokens[index]
+            index += 1
+        default = tokens[index] if index < len(tokens) else "#IMPLIED"
+        index += 1
+        if default == "#FIXED" and index < len(tokens):
+            default += " " + tokens[index]
+            index += 1
+        dtd.attributes.setdefault(element, []).append(
+            AttributeDef(name=name, attribute_type=attribute_type, default=default)
+        )
+
+
+def _attlist_tokens(rest: str) -> list[str]:
+    """Split an ATTLIST body into tokens, keeping quoted/parenthesised units."""
+    tokens: list[str] = []
+    index = 0
+    length = len(rest)
+    while index < length:
+        char = rest[index]
+        if char.isspace():
+            index += 1
+        elif char in ("'", '"'):
+            end = rest.find(char, index + 1)
+            if end < 0:
+                raise DtdSyntaxError("unterminated default value in ATTLIST")
+            tokens.append(rest[index : end + 1])
+            index = end + 1
+        elif char == "(":
+            end = rest.find(")", index)
+            if end < 0:
+                raise DtdSyntaxError("unterminated enumeration in ATTLIST")
+            tokens.append("".join(rest[index : end + 1].split()))
+            index = end + 1
+        else:
+            start = index
+            while index < length and not rest[index].isspace():
+                index += 1
+            tokens.append(rest[start:index])
+    return tokens

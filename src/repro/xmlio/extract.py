@@ -1,0 +1,103 @@
+"""Extraction of inference examples from XML documents.
+
+DTD inference reduces to learning one regular expression per element
+name from the child-name sequences occurring below it (Section 1.2).
+This module walks parsed documents and produces exactly those samples,
+plus the side information the extensions need (text content for
+datatype sniffing, attribute usage for ATTLIST generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .tree import Document, Element
+
+Word = tuple[str, ...]
+
+
+@dataclass
+class ElementEvidence:
+    """Everything observed about one element name across a corpus."""
+
+    name: str
+    child_sequences: list[Word] = field(default_factory=list)
+    has_text: bool = False
+    occurrences: int = 0
+    attribute_values: dict[str, list[str]] = field(default_factory=dict)
+    attribute_presence: dict[str, int] = field(default_factory=dict)
+    text_values: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CorpusEvidence:
+    """Per-element evidence plus corpus-level bookkeeping."""
+
+    elements: dict[str, ElementEvidence] = field(default_factory=dict)
+    roots: list[str] = field(default_factory=list)
+    document_count: int = 0
+
+    def evidence_for(self, name: str) -> ElementEvidence:
+        if name not in self.elements:
+            self.elements[name] = ElementEvidence(name=name)
+        return self.elements[name]
+
+    def add_element(self, element: Element) -> None:
+        evidence = self.evidence_for(element.name)
+        evidence.occurrences += 1
+        evidence.child_sequences.append(element.child_names())
+        if element.has_text():
+            evidence.has_text = True
+            stripped = element.text().strip()
+            if stripped and len(evidence.text_values) < 1000:
+                evidence.text_values.append(stripped)
+        for attribute, value in element.attributes.items():
+            evidence.attribute_presence[attribute] = (
+                evidence.attribute_presence.get(attribute, 0) + 1
+            )
+            samples = evidence.attribute_values.setdefault(attribute, [])
+            if len(samples) < 1000:
+                samples.append(value)
+
+    def add_document(self, document: Document) -> None:
+        self.document_count += 1
+        self.roots.append(document.root.name)
+        for element in document.iter():
+            self.add_element(element)
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    def samples(self) -> dict[str, list[Word]]:
+        """Element name → the child-sequence sample for its content model."""
+        return {
+            name: evidence.child_sequences
+            for name, evidence in self.elements.items()
+        }
+
+    def majority_root(self) -> str | None:
+        if not self.roots:
+            return None
+        counts: dict[str, int] = {}
+        for root in self.roots:
+            counts[root] = counts.get(root, 0) + 1
+        return max(sorted(counts), key=counts.get)
+
+
+def extract_evidence(documents: Iterable[Document]) -> CorpusEvidence:
+    """Collect per-element evidence from a corpus of documents."""
+    evidence = CorpusEvidence()
+    evidence.add_documents(documents)
+    return evidence
+
+
+def child_sequences(documents: Iterable[Document], element: str) -> list[Word]:
+    """The child-name sequences below every ``element`` in the corpus."""
+    sequences: list[Word] = []
+    for document in documents:
+        for node in document.iter():
+            if node.name == element:
+                sequences.append(node.child_names())
+    return sequences

@@ -1,0 +1,270 @@
+"""A from-scratch, dependency-free XML parser.
+
+Covers the slice of XML 1.0 that matters for schema inference from
+real-world corpora:
+
+* XML declaration, processing instructions, comments;
+* ``<!DOCTYPE name [ internal subset ]>`` — the subset is captured
+  verbatim so :mod:`repro.xmlio.dtd` can parse declared content models;
+* elements with attributes (single or double quoted);
+* character data, CDATA sections;
+* the five predefined entities plus decimal/hex character references.
+
+It is intentionally strict about well-formedness (mismatched tags,
+unterminated constructs, stray ``<``) because schema inference from a
+broken tree would silently learn garbage; noisy-but-well-formed input
+is the job of :mod:`repro.learning.noise`.
+"""
+
+from __future__ import annotations
+
+from .tree import Document, Element
+
+_PREDEFINED = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class XmlSyntaxError(ValueError):
+    """Raised on malformed XML, with line/column information."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in "_:"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_:.-"
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self.text, self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, count: int = 1) -> str:
+        return self.text[self.pos : self.pos + count]
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or not _is_name_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_until(self, token: str, error: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(error)
+        value = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return value
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[index + 1 : end]
+        if entity.startswith(("#x", "#X")):
+            out.append(_charref(entity[2:], 16, scanner))
+        elif entity.startswith("#"):
+            out.append(_charref(entity[1:], 10, scanner))
+        elif entity in _PREDEFINED:
+            out.append(_PREDEFINED[entity])
+        else:
+            # Unknown general entity: keep it verbatim.  Real corpora
+            # (the paper's XHTML crawl!) are full of undeclared
+            # entities; losing the document over one would be worse
+            # than keeping the reference as text.
+            out.append(f"&{entity};")
+        index = end + 1
+    return "".join(out)
+
+
+def _charref(digits: str, base: int, scanner: _Scanner) -> str:
+    try:
+        code_point = int(digits, base)
+        return chr(code_point)
+    except (ValueError, OverflowError) as exc:
+        raise scanner.error(f"invalid character reference &#{digits};") from exc
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof() or scanner.peek() in (">", "/", "?"):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.pos += 1
+        value = scanner.read_until(quote, "unterminated attribute value")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = _decode_entities(value, scanner)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments and processing instructions."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "unterminated comment")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "unterminated processing instruction")
+        else:
+            return
+
+
+def _parse_doctype(scanner: _Scanner) -> tuple[str, str | None]:
+    scanner.expect("<!DOCTYPE")
+    scanner.skip_whitespace()
+    name = scanner.read_name()
+    subset: str | None = None
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            raise scanner.error("unterminated DOCTYPE")
+        char = scanner.peek()
+        if char == ">":
+            scanner.pos += 1
+            return name, subset
+        if char == "[":
+            scanner.pos += 1
+            subset = scanner.read_until("]", "unterminated internal subset")
+        elif char in ("'", '"'):
+            scanner.pos += 1
+            scanner.read_until(char, "unterminated system/public literal")
+        else:
+            scanner.read_name()  # SYSTEM / PUBLIC keywords
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    name = scanner.read_name()
+    element = Element(name=name, attributes=_parse_attributes(scanner))
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element)
+    return element
+
+
+def _parse_content(scanner: _Scanner, element: Element) -> None:
+    while True:
+        if scanner.eof():
+            raise scanner.error(f"unterminated element <{element.name}>")
+        if scanner.startswith("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != element.name:
+                raise scanner.error(
+                    f"mismatched end tag </{closing}> for <{element.name}>"
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            return
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "unterminated comment")
+        elif scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            element.text_chunks.append(
+                scanner.read_until("]]>", "unterminated CDATA section")
+            )
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "unterminated processing instruction")
+        elif scanner.startswith("<"):
+            element.append(_parse_element(scanner))
+        else:
+            start = scanner.pos
+            next_tag = scanner.text.find("<", scanner.pos)
+            if next_tag < 0:
+                raise scanner.error(f"unterminated element <{element.name}>")
+            raw = scanner.text[start:next_tag]
+            scanner.pos = next_tag
+            decoded = _decode_entities(raw, scanner)
+            if decoded:
+                element.text_chunks.append(decoded)
+
+
+def parse_document(text: str) -> Document:
+    """Parse one XML document from a string."""
+    scanner = _Scanner(text)
+    if scanner.startswith("﻿"):
+        scanner.pos += 1
+    _skip_misc(scanner)
+    doctype_name: str | None = None
+    internal_subset: str | None = None
+    if scanner.startswith("<!DOCTYPE"):
+        doctype_name, internal_subset = _parse_doctype(scanner)
+        _skip_misc(scanner)
+    if not scanner.startswith("<"):
+        raise scanner.error("expected the root element")
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise scanner.error("content after the root element")
+    return Document(
+        root=root, doctype_name=doctype_name, internal_subset=internal_subset
+    )
+
+
+def parse_file(path: str) -> Document:
+    """Parse an XML document from a file path (UTF-8)."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_document(handle.read())

@@ -1,0 +1,71 @@
+"""A minimal XML document model.
+
+The inference pipeline needs exactly this much: element names, child
+order, attributes and character data.  Elements are plain mutable
+objects with helpers for traversal; there is deliberately no namespace
+machinery (DTDs predate namespaces — prefixed names are treated as
+opaque element names, which is also what the XML 1.0 + DTD spec does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Element:
+    """An XML element: name, attributes, and ordered children.
+
+    ``children`` holds sub-elements; ``text_chunks`` collects the
+    character data found anywhere directly inside the element (enough
+    for mixed-content detection and datatype sniffing, which do not
+    care about the exact interleaving).
+    """
+
+    name: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    text_chunks: list[str] = field(default_factory=list)
+
+    def append(self, child: "Element") -> "Element":
+        self.children.append(child)
+        return child
+
+    def child_names(self) -> tuple[str, ...]:
+        """The ordered child-element names — one inference example."""
+        return tuple(child.name for child in self.children)
+
+    def text(self) -> str:
+        """All character data directly inside this element, joined."""
+        return "".join(self.text_chunks)
+
+    def has_text(self) -> bool:
+        return any(chunk.strip() for chunk in self.text_chunks)
+
+    def iter(self) -> Iterator["Element"]:
+        """This element and all descendants, document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find_all(self, name: str) -> list["Element"]:
+        return [element for element in self.iter() if element.name == name]
+
+    def __repr__(self) -> str:
+        return (
+            f"Element({self.name!r}, children={len(self.children)}, "
+            f"attrs={len(self.attributes)})"
+        )
+
+
+@dataclass
+class Document:
+    """A parsed XML document: the root element plus DOCTYPE information."""
+
+    root: Element
+    doctype_name: str | None = None
+    internal_subset: str | None = None
+
+    def iter(self) -> Iterator[Element]:
+        return self.root.iter()

@@ -1,0 +1,135 @@
+"""Validation of documents against a DTD.
+
+The motivating application of schema inference (Section 1.1): with a
+DTD in hand, documents can be checked automatically.  Content models
+are matched with the deterministic Glushkov simulation from
+:mod:`repro.regex.language`; every violation is reported with the
+element path, so the noisy-XHTML experiment can count and classify
+errors rather than stop at the first one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..regex.language import matches
+from .dtd import Children, Dtd, Empty, Mixed
+from .tree import Document, Element
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation failure."""
+
+    path: str
+    element: str
+    kind: str  # undeclared-element | bad-content | unexpected-text | ...
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: [{self.kind}] {self.detail}"
+
+
+def _iter_violations(
+    element: Element, dtd: Dtd, path: str
+) -> Iterator[Violation]:
+    model = dtd.elements.get(element.name)
+    if model is None:
+        yield Violation(
+            path=path,
+            element=element.name,
+            kind="undeclared-element",
+            detail=f"element {element.name!r} is not declared",
+        )
+    elif isinstance(model, Empty):
+        if element.children or element.has_text():
+            yield Violation(
+                path=path,
+                element=element.name,
+                kind="bad-content",
+                detail=f"element {element.name!r} is declared EMPTY",
+            )
+    elif isinstance(model, Mixed):
+        allowed = set(model.names)
+        for child in element.children:
+            if child.name not in allowed:
+                yield Violation(
+                    path=path,
+                    element=element.name,
+                    kind="bad-content",
+                    detail=(
+                        f"child {child.name!r} not allowed in mixed content "
+                        f"of {element.name!r}"
+                    ),
+                )
+    elif isinstance(model, Children):
+        if element.has_text():
+            yield Violation(
+                path=path,
+                element=element.name,
+                kind="unexpected-text",
+                detail=(
+                    f"element {element.name!r} has element content but "
+                    "contains character data"
+                ),
+            )
+        word = element.child_names()
+        if not matches(model.regex, word):
+            yield Violation(
+                path=path,
+                element=element.name,
+                kind="bad-content",
+                detail=(
+                    f"children {' '.join(word) or '(none)'!s} do not match "
+                    f"{model.render()}"
+                ),
+            )
+    # Any: nothing to check.
+    yield from _check_attributes(element, dtd, path)
+    for index, child in enumerate(element.children):
+        yield from _iter_violations(child, dtd, f"{path}/{child.name}[{index}]")
+
+
+def _check_attributes(element: Element, dtd: Dtd, path: str) -> Iterator[Violation]:
+    declared = {a.name: a for a in dtd.attributes.get(element.name, ())}
+    for attribute in element.attributes:
+        if dtd.attributes.get(element.name) is not None and attribute not in declared:
+            yield Violation(
+                path=path,
+                element=element.name,
+                kind="undeclared-attribute",
+                detail=f"attribute {attribute!r} not declared on {element.name!r}",
+            )
+    for name, definition in declared.items():
+        if definition.default == "#REQUIRED" and name not in element.attributes:
+            yield Violation(
+                path=path,
+                element=element.name,
+                kind="missing-attribute",
+                detail=f"required attribute {name!r} missing on {element.name!r}",
+            )
+
+
+def validate(document: Document, dtd: Dtd) -> list[Violation]:
+    """All DTD violations in the document (empty list = valid)."""
+    violations = list(_iter_violations(document.root, dtd, f"/{document.root.name}"))
+    if dtd.start is not None and document.root.name != dtd.start:
+        violations.insert(
+            0,
+            Violation(
+                path=f"/{document.root.name}",
+                element=document.root.name,
+                kind="bad-root",
+                detail=(
+                    f"root is {document.root.name!r}, "
+                    f"DTD expects {dtd.start!r}"
+                ),
+            ),
+        )
+    return violations
+
+
+def is_valid(document: Document, dtd: Dtd) -> bool:
+    """Convenience wrapper: does the document satisfy the DTD?"""
+    return not validate(document, dtd)

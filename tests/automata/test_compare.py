@@ -1,0 +1,55 @@
+"""Cross-representation language comparison (SOA vs RE)."""
+
+from hypothesis import given, settings
+
+from repro.automata.compare import (
+    regex_included_in_soa,
+    regex_vs_soa_counterexample,
+    soa_equivalent_to_regex,
+    soa_included_in_regex,
+    soa_vs_regex_counterexample,
+)
+from repro.automata.soa import SOA
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+class TestInclusion:
+    def test_soa_in_regex(self):
+        soa = SOA.from_regex(parse_regex("a b"))
+        assert soa_included_in_regex(soa, parse_regex("a b?"))
+        assert not soa_included_in_regex(soa, parse_regex("a"))
+
+    def test_regex_in_soa(self):
+        soa = SOA.from_regex(parse_regex("a b?"))
+        assert regex_included_in_soa(parse_regex("a b"), soa)
+        assert not regex_included_in_soa(parse_regex("a b b"), soa)
+
+    def test_counterexamples_are_witnesses(self):
+        soa = SOA.from_regex(parse_regex("a+"))
+        witness = soa_vs_regex_counterexample(soa, parse_regex("a"))
+        assert witness == ("a", "a")
+        witness = regex_vs_soa_counterexample(
+            parse_regex("a*"), SOA.from_regex(parse_regex("a+"))
+        )
+        assert witness == ()
+
+    def test_empty_word_handling(self):
+        soa = SOA.from_regex(parse_regex("a?"))
+        assert soa.accepts_empty
+        assert soa_included_in_regex(soa, parse_regex("a?"))
+        assert not soa_included_in_regex(soa, parse_regex("a"))
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(sores(max_symbols=6))
+    def test_sore_equivalent_to_its_soa(self, expression):
+        """Proposition 1, cross-checked via the product construction."""
+        soa = SOA.from_regex(expression)
+        assert soa_equivalent_to_regex(soa, expression)
+
+    def test_inequivalent(self):
+        soa = SOA.from_regex(parse_regex("a b"))
+        assert not soa_equivalent_to_regex(soa, parse_regex("a b?"))

@@ -1,0 +1,46 @@
+"""DOT export."""
+
+from repro.automata.dot import gfa_to_dot, soa_to_dot
+from repro.automata.gfa import GFA
+from repro.automata.soa import SOA
+from repro.learning.tinf import tinf
+from repro.regex.parser import parse_regex
+
+
+class TestSoaDot:
+    def test_structure(self):
+        soa = tinf([tuple("abc"), tuple("ac")])
+        dot = soa_to_dot(soa)
+        assert dot.startswith("digraph soa {")
+        assert '"a" -> "b";' in dot
+        assert '"a" -> "c";' in dot
+        assert 'src -> "a";' in dot
+        assert '"c" -> snk;' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_accepts_empty_edge(self):
+        soa = SOA(symbols={"a"}, initial={"a"}, final={"a"}, edges=set(),
+                  accepts_empty=True)
+        assert "src -> snk;" in soa_to_dot(soa)
+
+    def test_quoting(self):
+        soa = SOA(symbols={'we"ird'}, initial={'we"ird'}, final={'we"ird'},
+                  edges=set())
+        dot = soa_to_dot(soa)
+        assert '\\"' in dot
+
+
+class TestGfaDot:
+    def test_labels_rendered_in_paper_syntax(self):
+        gfa = GFA.from_soa(tinf([tuple("ab")]))
+        from repro.core.rewrite import rewrite_gfa
+
+        rewrite_gfa(gfa)
+        dot = gfa_to_dot(gfa)
+        assert 'label="a b"' in dot
+        assert "src -> n" in dot
+
+    def test_custom_name(self):
+        gfa = GFA()
+        gfa.add_node(parse_regex("x"))
+        assert gfa_to_dot(gfa, name="mygraph").startswith("digraph mygraph {")

@@ -1,0 +1,76 @@
+"""State elimination: equivalence and the blow-up the paper motivates."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.elimination import state_elimination
+from repro.automata.compare import soa_equivalent_to_regex
+from repro.automata.soa import SOA
+from repro.learning.tinf import tinf
+
+from ..conftest import sores
+
+FIGURE1_WORDS = [tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("order", ["natural", "min_degree", "random"])
+    def test_equivalent_on_figure1(self, order):
+        soa = tinf(FIGURE1_WORDS)
+        regex = state_elimination(soa, order=order, rng=random.Random(5))
+        assert soa_equivalent_to_regex(soa, regex)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sores(max_symbols=5))
+    def test_equivalent_on_random_sores(self, expression):
+        from repro.automata.soa import SOA as Soa
+
+        try:
+            soa = Soa.from_regex(expression)
+        except Exception:  # pragma: no cover - strategy yields SOREs only
+            return
+        if soa.accepts_empty:
+            soa.accepts_empty = False
+            soa = soa.trimmed()
+            if not soa.symbols or not (soa.initial and soa.final):
+                return
+        regex = state_elimination(soa)
+        assert soa_equivalent_to_regex(soa, regex)
+
+
+class TestBlowUp:
+    def test_figure1_blowup_vs_sore(self):
+        """State elimination produces (†)-sized output; rewrite gives 12."""
+        from repro.core.rewrite import rewrite
+
+        soa = tinf(FIGURE1_WORDS)
+        eliminated = state_elimination(soa)
+        sore = rewrite(soa).regex
+        assert sore is not None
+        assert sore.token_count() == 12
+        assert eliminated.token_count() > 5 * sore.token_count()
+
+    def test_min_degree_heuristic_reduces_size(self):
+        soa = tinf(FIGURE1_WORDS)
+        natural = state_elimination(soa, order="natural")
+        heuristic = state_elimination(soa, order="min_degree")
+        # the heuristic literature's point: order matters; min-degree
+        # should not be (much) worse than the naive order here
+        assert heuristic.token_count() <= natural.token_count() * 1.5
+
+
+class TestErrors:
+    def test_empty_language_rejected(self):
+        soa = SOA(symbols={"a"}, initial=set(), final={"a"}, edges=set())
+        with pytest.raises(ValueError):
+            state_elimination(soa)
+
+    def test_accepts_empty_rejected(self):
+        soa = SOA(
+            symbols={"a"}, initial={"a"}, final={"a"}, edges=set(),
+            accepts_empty=True,
+        )
+        with pytest.raises(ValueError):
+            state_elimination(soa)

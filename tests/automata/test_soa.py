@@ -1,0 +1,120 @@
+"""SOA semantics, trimming, inclusion, and Proposition 1."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.soa import NotSingleOccurrenceError, SOA
+from repro.regex.language import matches
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+def figure1_soa() -> SOA:
+    """The automaton of Figure 1 ((I,F,S) for the 3-string sample)."""
+    grams = "aa ad ac ab ba bc cb cc ca cd da db dc de"
+    return SOA(
+        symbols=set("abcde"),
+        initial=set("abc"),
+        final={"e"},
+        edges={(g[0], g[1]) for g in grams.split()},
+    )
+
+
+class TestSemantics:
+    def test_accepts_paper_sample(self):
+        soa = figure1_soa()
+        for word in ["bacacdacde", "cbacdbacde", "abccaadcde"]:
+            assert soa.accepts(tuple(word))
+
+    def test_rejects(self):
+        soa = figure1_soa()
+        assert not soa.accepts(tuple("e"))  # e cannot start
+        assert not soa.accepts(tuple("ad"))  # d is not final
+        assert not soa.accepts(tuple("aed"))  # no (a, e) gram
+        assert not soa.accepts(())
+
+    def test_accepts_empty_flag(self):
+        soa = SOA(symbols={"a"}, initial={"a"}, final={"a"}, edges=set(),
+                  accepts_empty=True)
+        assert soa.accepts(())
+        assert soa.accepts(("a",))
+        assert not soa.accepts(("a", "a"))
+
+    def test_validation_rejects_unknown_symbols(self):
+        with pytest.raises(ValueError):
+            SOA(symbols={"a"}, initial={"b"}, final={"a"}, edges=set())
+        with pytest.raises(ValueError):
+            SOA(symbols={"a"}, initial={"a"}, final={"a"}, edges={("a", "z")})
+
+    def test_edge_count_includes_virtual_edges(self):
+        soa = figure1_soa()
+        assert soa.edge_count() == 14 + 3 + 1
+
+
+class TestTrim:
+    def test_removes_unreachable_states(self):
+        soa = SOA(
+            symbols={"a", "b", "z"},
+            initial={"a"},
+            final={"b"},
+            edges={("a", "b"), ("z", "b")},
+        )
+        trimmed = soa.trimmed()
+        assert trimmed.symbols == {"a", "b"}
+        assert trimmed.edges == {("a", "b")}
+
+    def test_removes_dead_end_states(self):
+        soa = SOA(
+            symbols={"a", "b", "z"},
+            initial={"a"},
+            final={"b"},
+            edges={("a", "b"), ("a", "z")},
+        )
+        assert soa.trimmed().symbols == {"a", "b"}
+
+    def test_trim_preserves_language_samples(self):
+        soa = figure1_soa()
+        assert soa.trimmed().language_equal(soa)
+
+
+class TestInclusion:
+    def test_subautomaton_included(self):
+        fig1 = figure1_soa()
+        grams = "ba ac ca cd da de cb db"
+        fig2 = SOA(
+            symbols=set("abcde"),
+            initial=set("bc"),
+            final={"e"},
+            edges={(g[0], g[1]) for g in grams.split()},
+        )
+        assert fig2.language_included(fig1)
+        assert not fig1.language_included(fig2)
+
+    def test_empty_flag_inclusion(self):
+        base = SOA(symbols={"a"}, initial={"a"}, final={"a"}, edges=set())
+        with_empty = base.copy()
+        with_empty.accepts_empty = True
+        assert base.language_included(with_empty)
+        assert not with_empty.language_included(base)
+
+
+class TestProposition1:
+    """Every SORE has a unique SOA with the same language."""
+
+    def test_from_regex_on_paper_expression(self):
+        soa = SOA.from_regex(parse_regex("((b? (a + c))+ d)+ e"))
+        assert soa.language_equal(figure1_soa())
+
+    def test_from_regex_rejects_repeated_symbols(self):
+        with pytest.raises(NotSingleOccurrenceError):
+            SOA.from_regex(parse_regex("a (a + b)*"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(sores(max_symbols=6))
+    def test_soa_agrees_with_regex_on_words(self, expression):
+        from repro.datagen.strings import representative_sample
+
+        soa = SOA.from_regex(expression)
+        for word in representative_sample(expression):
+            assert soa.accepts(word) == matches(expression, word)

@@ -1,0 +1,76 @@
+"""Trang baseline: CRX agreement and the example1 order sensitivity."""
+
+import random
+
+import pytest
+
+from repro.baselines.trang import TrangInference, trang
+from repro.core.crx import crx
+from repro.datagen.corpora import TABLE1, TABLE2, table2_row
+from repro.regex.language import matches
+from repro.regex.normalize import syntactically_equal
+from repro.regex.parser import parse_regex
+
+
+class TestAgreementWithCrx:
+    """Section 8.1: 'In all but one case, Trang produced exactly the
+    same output as crx.'"""
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.element)
+    def test_table1_agreement(self, row):
+        sample = row.sample()
+        assert syntactically_equal(trang(sample), crx(sample))
+
+    @pytest.mark.parametrize(
+        "row",
+        [r for r in TABLE2 if r.element != "example1"],
+        ids=lambda r: r.element,
+    )
+    def test_table2_agreement(self, row):
+        sample = row.sample()
+        assert syntactically_equal(trang(sample), crx(sample))
+
+
+class TestExample1OrderSensitivity:
+    """The documented quirk: contiguous presentation yields the exact
+    expression, interleaved yields the CRX-like approximation."""
+
+    def test_contiguous_presentation(self):
+        sample = sorted(table2_row("example1").sample())
+        assert syntactically_equal(
+            trang(sample), parse_regex("a1+ + (a2? a3+)")
+        )
+
+    def test_interleaved_presentation(self):
+        sample = list(table2_row("example1").sample())
+        random.Random(7).shuffle(sample)
+        assert syntactically_equal(trang(sample), parse_regex("a1* a2? a3*"))
+
+    def test_both_cover_the_sample(self):
+        sample = table2_row("example1").sample()
+        for order in (sorted(sample), sample):
+            regex = trang(order)
+            for word in order:
+                assert matches(regex, word)
+
+
+class TestMechanics:
+    def test_scc_contraction(self):
+        words = [tuple("abab"), tuple("ba")]
+        regex = trang(words)
+        for word in words:
+            assert matches(regex, word)
+
+    def test_empty_words(self):
+        regex = trang([(), ("a",)])
+        assert regex.nullable()
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trang([()])
+
+    def test_incremental_interface(self):
+        inference = TrangInference()
+        for word in [("a", "b"), ("b",)]:
+            inference.add(word)
+        assert inference.infer() == trang([("a", "b"), ("b",)])

@@ -1,0 +1,99 @@
+"""XTRACT baseline: pipeline stages and the two reported failure modes."""
+
+import random
+
+import pytest
+
+from repro.baselines.xtract import (
+    XtractCapacityError,
+    generalize,
+    mdl_select,
+    xtract,
+)
+from repro.core.crx import crx
+from repro.datagen.corpora import table1_row
+from repro.datagen.strings import padded_sample
+from repro.regex.language import matches
+from repro.regex.parser import parse_regex
+
+
+class TestGeneralization:
+    def test_literal_always_included(self):
+        candidates = generalize(("a", "b", "c"))
+        assert parse_regex("a b c") in candidates
+
+    def test_repeats_folded(self):
+        candidates = generalize(("a", "b", "b", "b", "c"))
+        assert parse_regex("a b+ c") in candidates
+
+    def test_period_two_folding(self):
+        candidates = generalize(("a", "b", "a", "b", "c"))
+        assert parse_regex("(a b)+ c") in candidates
+
+    def test_empty_word_has_no_candidates(self):
+        assert generalize(()) == []
+
+
+class TestMdl:
+    def test_prefers_folded_candidate_for_repetitive_data(self):
+        words = [tuple("ab" * k) for k in (1, 2, 3, 4, 5)]
+        candidates = [parse_regex("(a b)+")] + [
+            c for w in words for c in generalize(w)
+        ]
+        selected = mdl_select(candidates, words, budget=100000)
+        assert parse_regex("(a b)+") in selected
+
+    def test_budget_enforced(self):
+        words = [(f"s{i}",) for i in range(20)]
+        candidates = [parse_regex(f"s{i}") for i in range(20)]
+        with pytest.raises(XtractCapacityError):
+            mdl_select(candidates, words, budget=10)
+
+
+class TestPipeline:
+    def test_sample_always_covered(self, rng):
+        row = table1_row("organism")
+        sample = padded_sample(row.generator(), 40, rng)
+        regex = xtract(sample)
+        for word in sample:
+            if word:
+                assert matches(regex, word)
+
+    def test_blowup_vs_crx(self, rng):
+        """Failure mode 1: disjunction-heavy output larger than CHAREs."""
+        row = table1_row("refinfo")
+        sample = padded_sample(row.generator(), 60, rng)
+        assert xtract(sample).token_count() > crx(sample).token_count()
+
+    def test_capacity_failure(self, rng):
+        """Failure mode 2: >1000 distinct strings are rejected."""
+        words = [tuple(f"s{i}" for i in range(k % 11)) for k in range(3000)]
+        distinct = {w for w in words if w}
+        if len(distinct) <= 1000:  # construct guaranteed-many distincts
+            words = [(f"a{i}", f"b{i}") for i in range(1500)]
+        with pytest.raises(XtractCapacityError):
+            xtract(words)
+
+    def test_capacity_configurable(self):
+        words = [(f"a{i}",) for i in range(30)]
+        with pytest.raises(XtractCapacityError):
+            xtract(words, capacity=10)
+        assert xtract(words, capacity=100) is not None
+
+    def test_empty_only_rejected(self):
+        with pytest.raises(ValueError):
+            xtract([()])
+
+    def test_empty_words_make_result_nullable(self):
+        regex = xtract([(), ("a",)])
+        assert regex.nullable()
+
+
+class TestFactoring:
+    def test_common_prefix_factored(self):
+        # organism-like data: a1 a3, a1 a2 a3 → a1(...) shape
+        words = [tuple(["a1", "a3"]), tuple(["a1", "a2", "a3"])]
+        regex = xtract(words)
+        assert matches(regex, words[0]) and matches(regex, words[1])
+        # the factored result mentions a1 exactly once
+        assert regex.symbol_occurrences()["a1"] == 1

@@ -1,0 +1,109 @@
+"""iDTD (Section 6): Theorem 2, the Figure 2 recovery, table fidelity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.compare import soa_included_in_regex
+from repro.automata.soa import SOA
+from repro.core.idtd import idtd, idtd_from_soa
+from repro.learning.tinf import tinf
+from repro.regex.classify import is_sore
+from repro.regex.normalize import syntactically_equal
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_paper_syntax
+
+from ..conftest import word_samples
+
+
+class TestFigure2:
+    def test_recovers_intended_expression(self):
+        """'iDTD still succeeds in deriving ((b?(a+c))+d)+e' (Section 1.3)."""
+        words = [tuple(w) for w in ["bacacdacde", "cbacdbacde"]]
+        result = idtd_from_soa(tinf(words))
+        assert to_paper_syntax(result.regex) == "((b? (a + c))+ d)+ e"
+        assert result.repaired
+
+    def test_no_repair_on_representative_sample(self):
+        words = [tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]]
+        result = idtd_from_soa(tinf(words))
+        assert not result.repaired
+
+
+class TestTheorem2:
+    """iDTD always produces a SORE r with L(A) ⊆ L(r)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(word_samples())
+    def test_superset_and_sore(self, words):
+        if not any(words):
+            return
+        soa = tinf(words)
+        result = idtd_from_soa(soa)
+        assert is_sore(result.regex)
+        assert soa_included_in_regex(soa, result.regex)
+
+    @settings(max_examples=60, deadline=None)
+    @given(word_samples())
+    def test_every_sample_word_accepted(self, words):
+        if not any(words):
+            return
+        from repro.regex.language import matches
+
+        regex = idtd(words)
+        for word in words:
+            assert matches(regex, word), (word, to_paper_syntax(regex))
+
+
+class TestConvenienceWrapper:
+    def test_empty_words_make_result_nullable(self):
+        regex = idtd([(), ("a",), ("b",), ("a", "b")])
+        assert regex.nullable()
+        assert syntactically_equal(regex, parse_regex("a? b?"))
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            idtd([(), ()])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            idtd([])
+
+
+class TestEscalation:
+    def test_k_escalates_beyond_default(self):
+        """A sample needing looser repairs than k=2 still converges."""
+        rng = random.Random(99)
+        alphabet = [f"s{i}" for i in range(8)]
+        words = [
+            tuple(rng.choice(alphabet) for _ in range(rng.randint(1, 10)))
+            for _ in range(6)
+        ]
+        result = idtd_from_soa(tinf(words), k=1)
+        assert is_sore(result.regex)
+
+    def test_single_symbol(self):
+        assert idtd([("a",)]) == parse_regex("a")
+        assert syntactically_equal(idtd([("a",), ("a", "a")]), parse_regex("a+"))
+
+    def test_rejects_empty_soa(self):
+        with pytest.raises(ValueError):
+            idtd_from_soa(SOA())
+
+
+class TestSparseRecovery:
+    """iDTD needs fewer strings than a representative sample (Figure 4)."""
+
+    def test_star_disjunction_with_missing_grams(self):
+        """Section 7's point: (a1+...+an)* needs ~n² grams for rewrite,
+        but iDTD repairs recover it from a linear-sized witness set."""
+        # cycle cover only: a->b, b->c, c->a, plus entry/exit evidence
+        words = [tuple(w) for w in ["abd", "bcd", "cad", "aad", "d"]]
+        regex = idtd(words)
+        assert is_sore(regex)
+        from repro.regex.language import language_equivalent, matches
+
+        for word in words:
+            assert matches(regex, word)
+        assert language_equivalent(regex, parse_regex("(a + b + c)* d"))

@@ -1,0 +1,144 @@
+"""Repair rules of Section 6, including the Figure 2 → Figure 1 case."""
+
+from repro.automata.gfa import GFA, SOURCE
+from repro.core.repair import (
+    find_enable_disjunction_a,
+    find_enable_disjunction_b,
+    find_enable_optional_a,
+    find_enable_optional_b,
+    find_repair,
+)
+from repro.core.rewrite import rewrite_gfa
+from repro.learning.tinf import tinf
+from repro.regex.parser import parse_regex
+from repro.automata.soa import SOA
+
+FIGURE2_WORDS = [tuple(w) for w in ["bacacdacde", "cbacdbacde"]]
+
+
+def stuck_figure2_gfa() -> GFA:
+    gfa = GFA.from_soa(tinf(FIGURE2_WORDS))
+    rewrite_gfa(gfa)
+    return gfa
+
+
+class TestFigure2Repair:
+    def test_enable_disjunction_b_fires_on_a_and_c(self):
+        gfa = stuck_figure2_gfa()
+        repair = find_repair(gfa, k=2)
+        assert repair is not None
+        assert repair.rule == "enable_disjunction_b"
+        labels = sorted(str(gfa.labels[node]) for node in repair.nodes)
+        assert labels == ["a", "c"]
+
+    def test_adds_exactly_the_missing_figure1_edges(self):
+        """The paper: 'the ones that are missing when comparing to Fig 1'."""
+        gfa = stuck_figure2_gfa()
+        repair = find_repair(gfa, k=2)
+        by_label = {
+            str(label): node for node, label in gfa.labels.items()
+        }
+        expected = {
+            (SOURCE, by_label["a"]),
+            (by_label["a"], by_label["a"]),
+            (by_label["a"], by_label["b"]),
+            (by_label["a"], by_label["d"]),
+            (by_label["b"], by_label["c"]),
+            (by_label["c"], by_label["c"]),
+            (by_label["d"], by_label["c"]),
+        }
+        assert set(repair.new_edges) == expected
+
+    def test_repair_then_rewrite_succeeds(self):
+        gfa = stuck_figure2_gfa()
+        repair = find_repair(gfa, k=2)
+        repair.apply(gfa)
+        result = rewrite_gfa(gfa)
+        assert result.succeeded
+
+
+class TestPreconditions:
+    def test_disjunction_a_rejects_sequenced_pairs(self):
+        """A one-directional edge means 'sequenced', not alternatives."""
+        soa = SOA.from_regex(parse_regex("(x1 + x2 + x3)+ y+"))
+        gfa = GFA.from_soa(soa)
+        rewrite_gfa(gfa)
+        # the stuck graph is (x1+x2+x3)+ -> y+ with exits from both
+        closure = gfa.closure()
+        repair = find_enable_disjunction_a(gfa, closure, k=3)
+        assert repair is None
+
+    def test_disjunction_b_requires_mutual_adjacency(self):
+        soa = SOA(
+            symbols={"a", "b"}, initial={"a"}, final={"b"},
+            edges={("a", "b")},
+        )
+        gfa = GFA.from_soa(soa)
+        closure = gfa.closure()
+        assert find_enable_disjunction_b(gfa, closure) is None
+
+    def test_enable_optional_a_needs_a_bypass_edge(self):
+        soa = SOA(
+            symbols={"a", "b"}, initial={"a"}, final={"b"},
+            edges={("a", "b")},
+        )
+        gfa = GFA.from_soa(soa)
+        closure = gfa.closure()
+        assert find_enable_optional_a(gfa, closure) is None
+
+    def test_enable_optional_a_fires_with_bypass(self):
+        # a (b) c with an a->c shortcut but missing... construct directly:
+        # src->a, a->b, a->c, b->c is complete for a b? c, so remove b->c's
+        # completeness by using: src->a, a->b, b->c, a->c, c->snk and also
+        # src->b missing start alternative — optional(b) already applies
+        # there.  Use a case with TWO bypassed nodes instead:
+        soa = SOA(
+            symbols={"a", "b", "c", "d"},
+            initial={"a"},
+            final={"d"},
+            edges={("a", "b"), ("b", "c"), ("c", "d"), ("a", "c"), ("b", "d")},
+        )
+        gfa = GFA.from_soa(soa)
+        rewrite_gfa(gfa)
+        if not gfa.is_final():
+            closure = gfa.closure()
+            repair = find_enable_optional_a(gfa, closure)
+            assert repair is not None
+            assert repair.new_edges
+
+    def test_repairs_only_add_edges(self):
+        gfa = stuck_figure2_gfa()
+        before = set(gfa.edge_list())
+        repair = find_repair(gfa, k=2)
+        repair.apply(gfa)
+        after = set(gfa.edge_list())
+        assert before <= after
+        assert len(after) == len(before) + len(repair.new_edges)
+
+
+class TestEnableOptionalB:
+    def test_chain_case(self):
+        # Pred(b) = {a}, small fan-out of a: precondition (b)
+        soa = SOA(
+            symbols={"a", "b", "c"},
+            initial={"a"},
+            final={"c"},
+            edges={("a", "b"), ("b", "c")},
+        )
+        gfa = GFA.from_soa(soa)
+        rewrite_gfa(gfa)  # collapses the chain: a b c — already a SORE
+        assert gfa.is_final()
+
+    def test_fires_on_genuinely_stuck_chain(self):
+        # a -> b -> d and a -> c -> d, with crossing edge b->c only:
+        soa = SOA(
+            symbols={"a", "b", "c", "d"},
+            initial={"a"},
+            final={"d"},
+            edges={("a", "b"), ("b", "d"), ("a", "c"), ("c", "d"), ("b", "c")},
+        )
+        gfa = GFA.from_soa(soa)
+        result = rewrite_gfa(gfa)
+        if not result.succeeded:
+            repair = find_repair(gfa, k=2)
+            assert repair is not None

@@ -1,0 +1,184 @@
+"""The rewrite system of Section 5: rules, the Figure 3 run, Theorem 1."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.gfa import GFA, SINK, SOURCE
+from repro.automata.compare import soa_equivalent_to_regex
+from repro.automata.soa import SOA
+from repro.core.rewrite import (
+    Application,
+    all_applications,
+    apply_application,
+    find_application,
+    rewrite,
+    rewrite_gfa,
+)
+from repro.learning.tinf import tinf
+from repro.regex.language import language_equivalent
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_paper_syntax
+
+from ..conftest import build_random_sore, sores
+
+FIGURE1_WORDS = [tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]]
+
+
+class TestFigure3:
+    def test_exact_paper_output(self):
+        result = rewrite(tinf(FIGURE1_WORDS))
+        assert result.succeeded
+        assert to_paper_syntax(result.regex) == "((b? (a + c))+ d)+ e"
+
+    def test_first_step_is_optional_on_b(self):
+        """The default priority reproduces step (1) of Figure 3."""
+        gfa = GFA.from_soa(tinf(FIGURE1_WORDS))
+        application = find_application(gfa)
+        assert application.rule == "optional"
+        (node,) = application.nodes
+        assert str(gfa.labels[node]) == "b"
+
+    def test_language_preserved(self):
+        soa = tinf(FIGURE1_WORDS)
+        result = rewrite(soa)
+        assert soa_equivalent_to_regex(soa, result.regex)
+
+    def test_step_trace_recorded(self):
+        result = rewrite(tinf(FIGURE1_WORDS))
+        rules = [step.rule for step in result.steps]
+        assert rules[0] == "optional"
+        assert "disjunction" in rules
+        assert "concatenation" in rules
+        assert "self_loop" in rules
+
+
+class TestFailure:
+    def test_figure2_has_no_equivalent_sore(self):
+        words = [tuple(w) for w in ["bacacdacde", "cbacdbacde"]]
+        result = rewrite(tinf(words))
+        assert not result.succeeded
+        assert result.regex is None
+        assert result.gfa.nodes()  # the stuck GFA is exposed for iDTD
+
+
+class TestIndividualRules:
+    def test_self_loop(self):
+        gfa = GFA.from_soa(
+            SOA(symbols={"a"}, initial={"a"}, final={"a"}, edges={("a", "a")})
+        )
+        result = rewrite_gfa(gfa)
+        assert result.regex == parse_regex("a+")
+
+    def test_disjunction_without_loop(self):
+        gfa = GFA.from_soa(
+            SOA(symbols={"a", "b"}, initial={"a", "b"}, final={"a", "b"},
+                edges=set())
+        )
+        assert rewrite_gfa(gfa).regex == parse_regex("a + b")
+
+    def test_disjunction_with_loop(self):
+        edges = {(x, y) for x in "ab" for y in "ab"}
+        gfa = GFA.from_soa(
+            SOA(symbols={"a", "b"}, initial={"a", "b"}, final={"a", "b"},
+                edges=edges)
+        )
+        assert rewrite_gfa(gfa).regex == parse_regex("(a + b)+")
+
+    def test_concatenation(self):
+        gfa = GFA.from_soa(
+            SOA(symbols={"a", "b"}, initial={"a"}, final={"b"},
+                edges={("a", "b")})
+        )
+        assert rewrite_gfa(gfa).regex == parse_regex("a b")
+
+    def test_optional_without_self_loop(self):
+        gfa = GFA.from_soa(SOA.from_regex(parse_regex("a b? c")))
+        assert rewrite_gfa(gfa).regex == parse_regex("a b? c")
+
+    def test_star_via_contraction(self):
+        gfa = GFA.from_soa(SOA.from_regex(parse_regex("a b* c")))
+        assert rewrite_gfa(gfa).regex == parse_regex("a b* c")
+
+    def test_plus_disjunction_mix(self):
+        """a1+ + (a2 a3): merging a plus-like state with a chain."""
+        soa = SOA.from_regex(parse_regex("a1+ + (a2 a3)"))
+        result = rewrite(soa)
+        assert result.succeeded
+        assert language_equivalent(result.regex, parse_regex("a1+ + (a2 a3)"))
+
+    def test_nullable_target(self):
+        soa = SOA.from_regex(parse_regex("a? b?"))
+        result = rewrite(soa)
+        assert result.succeeded
+        assert language_equivalent(result.regex, parse_regex("a? b?"))
+
+
+class TestTheorem1Completeness:
+    """rewrite recovers an equivalent SORE from the SOA of any SORE."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(sores(max_symbols=7))
+    def test_round_trip(self, expression):
+        soa = SOA.from_regex(expression)
+        result = rewrite(soa)
+        assert result.succeeded, f"stuck on {to_paper_syntax(expression)}"
+        assert language_equivalent(result.regex, expression)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sores(max_symbols=6))
+    def test_linear_output_size(self, expression):
+        """SORE output is linear in the alphabet (each symbol once)."""
+        result = rewrite(SOA.from_regex(expression))
+        occurrences = result.regex.symbol_occurrences()
+        assert all(count == 1 for count in occurrences.values())
+
+
+class TestClaim2Confluence:
+    """Any order of rule applications leads to an equivalent SORE."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_random_rule_order(self, sore_seed, order_seed, symbols):
+        from repro.regex.normalize import normalize
+
+        expression = normalize(
+            build_random_sore(
+                random.Random(sore_seed), [f"x{i}" for i in range(symbols)]
+            )
+        )
+        soa = SOA.from_regex(expression)
+        result = rewrite(soa, rng=random.Random(order_seed))
+        assert result.succeeded
+        assert language_equivalent(result.regex, expression)
+
+    def test_alternative_order_on_figure1(self):
+        """Disjunction-first yields the paper's ((b?(a+c)+)+d)+e variant."""
+        soa = tinf(FIGURE1_WORDS)
+        result = rewrite(
+            soa, order=("disjunction", "self_loop", "concatenation", "optional")
+        )
+        assert result.succeeded
+        assert language_equivalent(
+            result.regex, parse_regex("((b? (a + c))+ d)+ e")
+        )
+
+
+class TestTermination:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_rewrite_terminates_on_arbitrary_soas(self, seed):
+        rng = random.Random(seed)
+        alphabet = [f"s{i}" for i in range(rng.randint(1, 6))]
+        words = [
+            tuple(rng.choice(alphabet) for _ in range(rng.randint(1, 8)))
+            for _ in range(rng.randint(1, 10))
+        ]
+        result = rewrite(tinf(words))  # success or clean failure, no hang
+        assert result.gfa is not None

@@ -1,0 +1,124 @@
+"""The golden fidelity tests: Tables 1 and 2 of the paper.
+
+For every element, running CRX and iDTD on a representative sample of
+the corpus-behaviour expression must reproduce the expression the paper
+reports (syntactically, up to commutativity of +) — except example5,
+where our iDTD finds a one-token-smaller language-equivalent SORE
+(``a1 ((a2+a3+a4) a5*)*`` vs the paper's ``a1 ((a2+a3+a4)+ a5*)*``),
+which the test accepts explicitly.
+"""
+
+import pytest
+
+from repro.core.crx import crx
+from repro.core.idtd import idtd
+from repro.datagen.corpora import (
+    FIGURE4_TARGETS,
+    TABLE1,
+    TABLE2,
+    table1_row,
+    table2_row,
+)
+from repro.regex.classify import is_chare, is_sore
+from repro.regex.language import language_equivalent, language_included
+from repro.regex.normalize import syntactically_equal
+from repro.regex.parser import parse_regex
+
+
+class TestTable1:
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.element)
+    def test_crx_matches_paper(self, row):
+        assert syntactically_equal(crx(row.sample()), row.crx_target())
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.element)
+    def test_idtd_matches_paper(self, row):
+        assert syntactically_equal(idtd(row.sample()), row.idtd_target())
+
+    @pytest.mark.parametrize(
+        "row",
+        [r for r in TABLE1 if r.element != "refinfo"],
+        ids=lambda r: r.element,
+    )
+    def test_corpus_behaviour_refines_original_dtd(self, row):
+        """The corpus expressions are subsets of the published models.
+
+        refinfo is excluded: its derived CHARE tightens the
+        volume/month disjunction but over-approximates the
+        title/xrefs/description order (``a9? a8?`` admits an order the
+        original forbids) — exactly the behaviour Table 1 reports.
+        """
+        assert language_included(row.generator(), row.original())
+
+    def test_refinfo_tightens_and_overapproximates(self):
+        row = table1_row("refinfo")
+        # tightened: volume+month together is out
+        assert not language_included(
+            parse_regex("a1 a2 a3 a4 a5"), row.generator()
+        )
+        # over-approximated: xrefs-before-description is newly allowed
+        assert language_included(
+            parse_regex("a1 a2 a5 a9 a8"), row.generator()
+        )
+        assert not language_included(
+            parse_regex("a1 a2 a5 a9 a8"), row.original()
+        )
+
+    def test_refinfo_volume_month_exclusion(self):
+        """The schema-cleaning example: volume and month never co-occur."""
+        row = table1_row("refinfo")
+        learned = crx(row.sample())
+        assert not language_included(
+            parse_regex("a1 a2 a3 a4 a5"), learned
+        )  # both a3 (volume) and a4 (month) present -> rejected
+
+
+class TestTable2:
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.element)
+    def test_crx_matches_paper(self, row):
+        result = crx(row.sample())
+        assert is_chare(result)
+        assert syntactically_equal(result, row.crx_target())
+
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.element)
+    def test_idtd_matches_paper(self, row):
+        result = idtd(row.sample())
+        assert is_sore(result)
+        if row.element == "example5":
+            assert language_equivalent(result, row.idtd_target())
+            assert result.token_count() <= row.idtd_target().token_count()
+        else:
+            assert syntactically_equal(result, row.idtd_target())
+
+    def test_only_first_three_table2_rows_are_sores(self):
+        """'only the first three expressions in Table 2 are SOREs'."""
+        assert [is_sore(row.original()) for row in TABLE2] == [
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_no_table2_original_is_a_chare(self):
+        assert not any(is_chare(row.original()) for row in TABLE2)
+
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: r.element)
+    def test_learned_expressions_are_supersets(self, row):
+        """Tables' derived expressions contain the generator language."""
+        sample = row.sample()
+        assert language_included(row.generator(), crx(sample))
+
+
+class TestFigure4Targets:
+    def test_dagger_expression_parses(self):
+        target = parse_regex(FIGURE4_TARGETS["dagger"])
+        assert is_sore(target)
+        assert not is_chare(target)
+
+    def test_lookup_helpers(self):
+        assert table1_row("authors").element == "authors"
+        assert table2_row("example3").sample_size == 5741
+        with pytest.raises(KeyError):
+            table1_row("nope")
+        with pytest.raises(KeyError):
+            table2_row("nope")

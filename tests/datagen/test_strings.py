@@ -1,0 +1,84 @@
+"""String generation: membership and representativeness guarantees."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.datagen.strings import (
+    padded_sample,
+    random_word,
+    representative_sample,
+    sample_words,
+)
+from repro.learning.tinf import tinf
+from repro.automata.soa import SOA
+from repro.regex.language import matches
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+class TestRandomWord:
+    @settings(max_examples=40, deadline=None)
+    @given(sores(max_symbols=6))
+    def test_words_belong_to_the_language(self, expression):
+        rng = random.Random(1)
+        for _ in range(10):
+            assert matches(expression, random_word(expression, rng))
+
+    def test_repeat_bounds_respected(self):
+        rng = random.Random(2)
+        expression = parse_regex("a{2,4}")
+        for _ in range(50):
+            word = random_word(expression, rng)
+            assert 2 <= len(word) <= 4
+
+    def test_sample_words_count(self):
+        words = sample_words(parse_regex("a b?"), 7, random.Random(0))
+        assert len(words) == 7
+
+
+class TestRepresentativeSample:
+    @settings(max_examples=50, deadline=None)
+    @given(sores(max_symbols=7))
+    def test_covers_the_full_soa(self, expression):
+        """2T-INF on the sample recovers exactly the SORE's SOA."""
+        sample = representative_sample(expression)
+        assert tinf(sample).language_equal(SOA.from_regex(expression))
+
+    @settings(max_examples=30, deadline=None)
+    @given(sores(max_symbols=6))
+    def test_all_words_in_language(self, expression):
+        for word in representative_sample(expression):
+            assert matches(expression, word)
+
+    def test_includes_empty_word_for_nullable_targets(self):
+        assert () in representative_sample(parse_regex("a?"))
+        assert () not in representative_sample(parse_regex("a"))
+
+    def test_deterministic(self):
+        expression = parse_regex("(a + b)+ c d?")
+        assert representative_sample(expression) == representative_sample(
+            expression
+        )
+
+    def test_size_linear_in_grams(self):
+        """The sample has one word per 2-gram + starts, not more."""
+        expression = parse_regex("(a + b + c)+ d")
+        sample = representative_sample(expression)
+        automaton_grams = 9 + 3  # internal + to-d grams
+        assert len(sample) <= automaton_grams + 3 + 1
+
+
+class TestPaddedSample:
+    def test_reaches_requested_size(self, rng):
+        expression = parse_regex("a (b + c)* d")
+        sample = padded_sample(expression, 100, rng)
+        assert len(sample) == 100
+        for word in sample:
+            assert matches(expression, word)
+
+    def test_still_representative(self, rng):
+        expression = parse_regex("(a + b)+ c?")
+        sample = padded_sample(expression, 50, rng)
+        assert tinf(sample).language_equal(SOA.from_regex(expression))

@@ -1,0 +1,89 @@
+"""XML generation from DTDs (ToXgene substitute)."""
+
+import random
+
+import pytest
+
+from repro.datagen.xmlgen import XmlGenerator, serialize
+from repro.xmlio.dtd import parse_dtd
+from repro.xmlio.parser import parse_document
+from repro.xmlio.validate import validate
+
+DTD = parse_dtd(
+    """
+    <!ELEMENT doc (head, item*)>
+    <!ELEMENT head (#PCDATA)>
+    <!ELEMENT item (name, qty?)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT qty (#PCDATA)>
+    <!ATTLIST item sku NMTOKEN #REQUIRED>
+    """
+)
+
+
+class TestGeneration:
+    def test_documents_conform_to_the_dtd(self):
+        generator = XmlGenerator(DTD, random.Random(1))
+        for document in generator.corpus(25):
+            assert not validate(document, DTD)
+
+    def test_required_attributes_always_present(self):
+        generator = XmlGenerator(DTD, random.Random(2))
+        for document in generator.corpus(10):
+            for item in document.root.find_all("item"):
+                assert "sku" in item.attributes
+
+    def test_recursive_dtd_terminates(self):
+        recursive = parse_dtd(
+            "<!ELEMENT tree (leaf | tree, tree)>" "<!ELEMENT leaf EMPTY>"
+        )
+        generator = XmlGenerator(recursive, random.Random(3), max_depth=6)
+        document = generator.document()
+        depths = [0]
+
+        def walk(element, depth):
+            depths[0] = max(depths[0], depth)
+            for child in element.children:
+                walk(child, depth + 1)
+
+        walk(document.root, 0)
+        assert depths[0] <= 8  # cap + slack for the forced short path
+
+    def test_custom_text_makers(self):
+        generator = XmlGenerator(
+            DTD, random.Random(4), text_makers={"qty": lambda r: "42"}
+        )
+        corpus = generator.corpus(20)
+        values = [
+            element.text()
+            for document in corpus
+            for element in document.iter()
+            if element.name == "qty"
+        ]
+        assert values and all(value == "42" for value in values)
+
+    def test_missing_start_rejected(self):
+        headless = parse_dtd("<!ELEMENT a EMPTY>")
+        headless.start = "nope"
+        with pytest.raises(ValueError):
+            XmlGenerator(headless, random.Random(0))
+
+
+class TestSerialization:
+    def test_round_trip_through_the_parser(self):
+        generator = XmlGenerator(DTD, random.Random(5))
+        document = generator.document()
+        text = serialize(document)
+        reparsed = parse_document(text)
+        assert reparsed.root.name == document.root.name
+        assert not validate(reparsed, DTD)
+
+    def test_escaping(self):
+        from repro.xmlio.tree import Document, Element
+
+        root = Element("r", attributes={"x": 'a"<&'})
+        root.text_chunks.append("1 < 2 & 3 > 2")
+        text = serialize(Document(root=root))
+        reparsed = parse_document(text)
+        assert reparsed.root.attributes["x"] == 'a"<&'
+        assert reparsed.root.text().strip() == "1 < 2 & 3 > 2"

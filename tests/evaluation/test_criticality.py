@@ -1,0 +1,95 @@
+"""The Figure 4 protocol: success curves and critical sizes."""
+
+import random
+
+from repro.datagen.strings import padded_sample
+from repro.evaluation.criticality import (
+    SuccessCurve,
+    CurvePoint,
+    figure4_panel,
+    learner_reference,
+    success_curve,
+)
+from repro.regex.parser import parse_regex
+
+
+def small_panel_sample(rng):
+    target = parse_regex("(a1 (a2 + a3 + a4)+ (a5 + a6))+")  # mini-(‡)
+    return padded_sample(target, 150, rng)
+
+
+class TestSuccessCurve:
+    def test_monotone_trend_and_saturation(self):
+        rng = random.Random(17)
+        sample = small_panel_sample(rng)
+        curve = success_curve(
+            "crx", sample, sizes=[6, 20, 60, 150], trials=15, rng=rng
+        )
+        fractions = [point.fraction for point in curve.points]
+        # at full size the reference is recovered by construction
+        assert fractions[-1] == 1.0
+        # broadly increasing (allow small non-monotonicity from sampling)
+        assert fractions[0] <= fractions[-1]
+
+    def test_critical_size(self):
+        curve = SuccessCurve(
+            learner="crx",
+            reference=parse_regex("a"),
+            points=[
+                CurvePoint(10, 5, 10),
+                CurvePoint(20, 10, 10),
+                CurvePoint(30, 10, 10),
+            ],
+        )
+        assert curve.critical_size() == 20
+
+    def test_critical_size_requires_sustained_success(self):
+        curve = SuccessCurve(
+            learner="crx",
+            reference=parse_regex("a"),
+            points=[
+                CurvePoint(10, 10, 10),
+                CurvePoint(20, 9, 10),
+                CurvePoint(30, 10, 10),
+            ],
+        )
+        assert curve.critical_size() == 30
+
+    def test_no_critical_size(self):
+        curve = SuccessCurve(
+            learner="crx",
+            reference=parse_regex("a"),
+            points=[CurvePoint(10, 3, 10)],
+        )
+        assert curve.critical_size() is None
+
+
+class TestPanel:
+    def test_crx_generalizes_faster_than_idtd_and_rewrite(self):
+        """The headline of Figure 4: crx ≤ idtd ≤ rewrite in data needs."""
+        rng = random.Random(99)
+        sample = small_panel_sample(rng)
+        curves = figure4_panel(
+            sample, sizes=[10, 40, 150], trials=12, rng=rng
+        )
+        at_small = {
+            name: curve.points[0].fraction for name, curve in curves.items()
+        }
+        at_mid = {
+            name: curve.points[1].fraction for name, curve in curves.items()
+        }
+        # crx should dominate rewrite at small and mid sizes
+        assert at_small["crx"] >= at_small["rewrite"]
+        assert at_mid["crx"] >= at_mid["rewrite"]
+        # and idtd should sit at or above rewrite (repairs help)
+        assert at_mid["idtd"] >= at_mid["rewrite"]
+
+    def test_reference_expressions_differ_by_learner(self):
+        rng = random.Random(5)
+        sample = small_panel_sample(rng)
+        crx_ref = learner_reference("crx", sample)
+        idtd_ref = learner_reference("idtd", sample)
+        from repro.regex.classify import is_chare, is_sore
+
+        assert is_chare(crx_ref)
+        assert is_sore(idtd_ref)

@@ -1,0 +1,47 @@
+"""Evaluation metrics."""
+
+from repro.evaluation.metrics import (
+    Fit,
+    conciseness_ratio,
+    language_fit,
+    token_count,
+)
+from repro.regex.parser import parse_regex
+
+
+class TestLanguageFit:
+    def test_equivalent(self):
+        fit = language_fit(parse_regex("(a?)+"), parse_regex("a*"))
+        assert fit.equivalent and fit.exact
+        assert fit.precision_estimate == 1.0
+
+    def test_proper_superset(self):
+        fit = language_fit(parse_regex("a* b?"), parse_regex("a b"))
+        assert fit.includes_target
+        assert not fit.equivalent
+        assert 0.0 <= fit.precision_estimate < 1.0
+
+    def test_crx_vs_idtd_precision_on_example1(self):
+        """iDTD's output is strictly more precise than CRX's."""
+        target = parse_regex("a1+ + (a2? a3+)")
+        crx_out = parse_regex("a1* a2? a3*")
+        idtd_out = target
+        crx_fit = language_fit(crx_out, target)
+        idtd_fit = language_fit(idtd_out, target)
+        assert idtd_fit.precision_estimate == 1.0
+        assert crx_fit.includes_target
+        assert crx_fit.precision_estimate < 1.0
+
+    def test_non_superset_detected(self):
+        fit = language_fit(parse_regex("a"), parse_regex("a b?"))
+        assert not fit.includes_target
+
+
+class TestTokenCounts:
+    def test_paper_count(self):
+        assert token_count(parse_regex("((b? (a + c))+ d)+ e")) == 12
+
+    def test_conciseness_ratio(self):
+        big = parse_regex("a b c d e f")
+        small = parse_regex("a b c")
+        assert conciseness_ratio(big, small) > 1.5

@@ -1,0 +1,45 @@
+"""Table/curve rendering helpers."""
+
+from repro.evaluation.tables import Table, ascii_curve
+from repro.evaluation.timing import best_of, timed
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(headers=("name", "value"), title="T")
+        table.add("alpha", 1)
+        table.add("b", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text and "22" in text
+        # all data rows equally wide
+        assert len(set(map(len, lines[2:4]))) == 1
+
+    def test_long_cells_clipped(self):
+        table = Table(headers=("x",))
+        table.add("y" * 300)
+        assert max(len(line) for line in table.render().splitlines()) < 100
+
+    def test_empty_table(self):
+        table = Table(headers=("a", "b"))
+        assert "a" in table.render()
+
+
+class TestCurve:
+    def test_ascii_curve(self):
+        text = ascii_curve([(10, 0.5), (20, 1.0)], width=10, label="demo")
+        assert "demo" in text
+        assert "#####" in text
+        assert "##########" in text
+
+
+class TestTiming:
+    def test_timed(self):
+        result = timed(lambda: sum(range(1000)))
+        assert result.value == sum(range(1000))
+        assert result.seconds >= 0
+
+    def test_best_of(self):
+        result = best_of(lambda: 42, repeats=3)
+        assert result.value == 42

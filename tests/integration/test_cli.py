@@ -1,0 +1,154 @@
+"""Command-line interface tests."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.xmlgen import XmlGenerator, serialize
+from repro.xmlio.dtd import parse_dtd
+
+
+@pytest.fixture
+def corpus_files(tmp_path):
+    dtd = parse_dtd(
+        "<!ELEMENT r (a, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>"
+    )
+    generator = XmlGenerator(dtd, random.Random(1))
+    paths = []
+    for index, document in enumerate(generator.corpus(8)):
+        path = tmp_path / f"doc{index}.xml"
+        path.write_text(serialize(document), encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+class TestInfer:
+    def test_dtd_output(self, corpus_files, capsys):
+        assert main(["infer", *corpus_files]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT r " in out
+        assert "(#PCDATA)" in out
+
+    def test_xsd_output(self, corpus_files, capsys):
+        assert main(["infer", "--format", "xsd", *corpus_files]) == 0
+        out = capsys.readouterr().out
+        assert "<xs:schema" in out
+
+    def test_method_selection(self, corpus_files, capsys):
+        assert main(["infer", "--method", "crx", *corpus_files]) == 0
+        assert "<!ELEMENT" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_valid_and_invalid(self, corpus_files, tmp_path, capsys):
+        dtd_path = tmp_path / "schema.dtd"
+        dtd_path.write_text(
+            "<!ELEMENT r (a, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>\n",
+            encoding="utf-8",
+        )
+        assert main(["validate", "-d", str(dtd_path), corpus_files[0]]) == 0
+        assert "valid" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<r><b/><b/></r>", encoding="utf-8")
+        assert main(["validate", "-d", str(dtd_path), str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_generates_valid_corpus(self, tmp_path, capsys):
+        dtd_path = tmp_path / "schema.dtd"
+        dtd_path.write_text(
+            "<!ELEMENT r (a+, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>\n",
+            encoding="utf-8",
+        )
+        out_dir = tmp_path / "generated"
+        assert main(
+            ["sample", "-d", str(dtd_path), "-o", str(out_dir), "-n", "6"]
+        ) == 0
+        files = sorted(out_dir.glob("*.xml"))
+        assert len(files) == 6
+        capsys.readouterr()
+        assert main(
+            ["validate", "-d", str(dtd_path), *(str(f) for f in files)]
+        ) == 0
+
+    def test_seed_reproducibility(self, tmp_path):
+        dtd_path = tmp_path / "schema.dtd"
+        dtd_path.write_text("<!ELEMENT r (a*)><!ELEMENT a EMPTY>\n")
+        for name in ("one", "two"):
+            main(
+                ["sample", "-d", str(dtd_path), "-o", str(tmp_path / name),
+                 "-n", "3", "--seed", "42"]
+            )
+        for index in range(3):
+            first = (tmp_path / "one" / f"sample{index:04d}.xml").read_text()
+            second = (tmp_path / "two" / f"sample{index:04d}.xml").read_text()
+            assert first == second
+
+
+class TestSupportThreshold:
+    def test_noise_dropped_from_inferred_dtd(self, tmp_path, capsys):
+        texts = ["<r><a/><a/></r>"] * 9 + ["<r><a/><zz/></r>"]
+        paths = []
+        for index, text in enumerate(texts):
+            path = tmp_path / f"n{index}.xml"
+            path.write_text(text, encoding="utf-8")
+            paths.append(str(path))
+        assert main(["infer", "--support-threshold", "3", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "zz" not in out
+        assert "<!ELEMENT r (a+)>" in out
+
+    def test_threshold_zero_keeps_everything(self, tmp_path, capsys):
+        path = tmp_path / "d.xml"
+        path.write_text("<r><zz/></r>", encoding="utf-8")
+        assert main(["infer", str(path)]) == 0
+        assert "zz" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_diff_two_dtds(self, tmp_path, capsys):
+        old = tmp_path / "old.dtd"
+        old.write_text("<!ELEMENT r (a, b?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        new = tmp_path / "new.dtd"
+        new.write_text("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        assert main(["diff", "--old", str(old), "--new", str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "r: tighter" in out
+
+    def test_diff_against_inferred(self, tmp_path, capsys):
+        old = tmp_path / "old.dtd"
+        old.write_text(
+            "<!ELEMENT r (a?, b?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<r><a/></r>")
+        assert main(["diff", "--old", str(old), str(doc)]) == 1
+        out = capsys.readouterr().out
+        assert "tighter" in out
+
+    def test_equivalent_schemas_exit_zero(self, tmp_path, capsys):
+        old = tmp_path / "old.dtd"
+        old.write_text("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        new = tmp_path / "new.dtd"
+        new.write_text("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        assert main(["diff", "--old", str(old), "--new", str(new)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_missing_inputs(self, tmp_path, capsys):
+        old = tmp_path / "old.dtd"
+        old.write_text("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        assert main(["diff", "--old", str(old)]) == 2
+
+
+class TestExpr:
+    def test_idtd_expression(self, capsys):
+        assert main(["expr", "a b", "a b b", "b"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "a? b+"
+
+    def test_crx_dtd_format(self, capsys):
+        assert main(["expr", "--method", "crx", "--format", "dtd", "a b", "b"]) == 0
+        assert capsys.readouterr().out.strip() == "a?,b"

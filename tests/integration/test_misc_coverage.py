@@ -1,0 +1,119 @@
+"""Targeted tests for less-travelled paths across modules."""
+
+import random
+
+from repro.automata.gfa import GFA, SINK, SOURCE
+from repro.automata.soa import SOA
+from repro.evaluation.criticality import rewrite_learner
+from repro.evaluation.metrics import language_fit
+from repro.learning.tinf import tinf
+from repro.regex.parser import parse_regex
+from repro.xmlio.parser import parse_document
+
+
+class TestMetricsFallback:
+    def test_language_fit_random_sampling_path(self):
+        """Languages whose shortest word exceeds the enumeration bound
+        fall back to random-draw precision estimation."""
+        long_names = " ".join(f"s{i}" for i in range(20))
+        inferred = parse_regex(f"{long_names} (x + y)")
+        target = parse_regex(f"{long_names} x")
+        fit = language_fit(inferred, target, max_length=5, samples=100)
+        assert not fit.equivalent
+        assert 0.0 < fit.precision_estimate < 1.0
+
+    def test_language_fit_on_empty_intersection(self):
+        fit = language_fit(parse_regex("a"), parse_regex("b"))
+        assert not fit.includes_target
+        assert fit.precision_estimate == 0.0
+
+
+class TestRewriteLearner:
+    def test_succeeds_on_representative_sample(self):
+        from repro.datagen.strings import representative_sample
+
+        target = parse_regex("a b? c+")
+        regex = rewrite_learner(representative_sample(target))
+        from repro.regex.language import language_equivalent
+
+        assert language_equivalent(regex, target)
+
+    def test_raises_on_non_sore_sample(self):
+        import pytest
+
+        words = [tuple(w) for w in ["bacacdacde", "cbacdbacde"]]
+        with pytest.raises(Exception):
+            rewrite_learner(words)
+
+
+class TestStringRepresentations:
+    def test_soa_str(self):
+        soa = tinf([tuple("ab"), ()])
+        text = str(soa)
+        assert "I={a}" in text and "+ε" in text
+
+    def test_gfa_str(self):
+        gfa = GFA.from_soa(tinf([tuple("ab")]))
+        text = str(gfa)
+        assert "src -> a" in text and "b -> snk" in text
+
+    def test_regex_str_is_paper_syntax(self):
+        assert str(parse_regex("a,(b|c)*")) == "a (b + c)*"
+
+    def test_gfa_alphabet(self):
+        gfa = GFA.from_soa(tinf([tuple("ab")]))
+        assert gfa.alphabet() == {"a", "b"}
+
+
+class TestParserEdges:
+    def test_bom_skipped(self):
+        document = parse_document("﻿<r/>")
+        assert document.root.name == "r"
+
+    def test_public_doctype(self):
+        document = parse_document(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0//EN" '
+            '"http://www.w3.org/TR/xhtml1/DTD/xhtml1.dtd"><html/>'
+        )
+        assert document.doctype_name == "html"
+
+    def test_whitespace_inside_tags(self):
+        document = parse_document('<r   a = "1"   ></r  >')
+        assert document.root.attributes == {"a": "1"}
+
+
+class TestCliNumeric:
+    def test_numeric_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for index in range(3):
+            (tmp_path / f"d{index}.xml").write_text(
+                "<r><a/><a/><a/></r>", encoding="utf-8"
+            )
+        files = [str(p) for p in sorted(tmp_path.glob("*.xml"))]
+        assert main(["infer", "--numeric", "--method", "idtd", *files]) == 0
+        out = capsys.readouterr().out
+        assert "a{3,3}" in out
+
+
+class TestDegenerateAutomata:
+    def test_trim_of_fully_useless_soa(self):
+        soa = SOA(symbols={"a"}, initial=set(), final={"a"}, edges=set())
+        trimmed = soa.trimmed()
+        assert not trimmed.symbols
+        assert not trimmed.accepts(("a",))
+
+    def test_gfa_edge_between_source_and_sink_only(self):
+        gfa = GFA()
+        gfa.add_edge(SOURCE, SINK)
+        assert gfa.accepts(())
+        assert not gfa.accepts(("a",))
+        assert not gfa.is_final()  # finality needs one labelled node
+
+    def test_elimination_default_rng(self):
+        from repro.automata.elimination import state_elimination
+        from repro.automata.compare import soa_equivalent_to_regex
+
+        soa = tinf([tuple("aab"), tuple("ab")])
+        regex = state_elimination(soa, order="random")  # module-level rng
+        assert soa_equivalent_to_regex(soa, regex)

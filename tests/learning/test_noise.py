@@ -1,0 +1,86 @@
+"""Noise handling (Section 9): supports, thresholding, edge pruning."""
+
+import random
+
+import pytest
+
+from repro.datagen.noise import inject_intruders
+from repro.datagen.strings import padded_sample
+from repro.learning.noise import WeightedSOA, idtd_denoised
+from repro.regex.language import language_equivalent, matches
+from repro.regex.parser import parse_regex
+
+
+class TestWeightedSOA:
+    def test_supports_counted(self):
+        weighted = WeightedSOA.from_words(
+            [("a", "b"), ("a", "b"), ("a", "c")]
+        )
+        assert weighted.edge_support[("a", "b")] == 2
+        assert weighted.edge_support[("a", "c")] == 1
+        assert weighted.initial_support["a"] == 3
+        assert weighted.symbol_support["b"] == 2
+
+    def test_symbol_support_counts_words_not_occurrences(self):
+        weighted = WeightedSOA.from_words([("a", "a", "a")])
+        assert weighted.symbol_support["a"] == 1
+
+    def test_prune_symbols(self):
+        weighted = WeightedSOA.from_words(
+            [("a", "b")] * 10 + [("a", "z", "b")]
+        )
+        pruned = weighted.prune_symbols(min_support=2)
+        assert "z" not in pruned.soa.symbols
+        assert ("a", "b") in pruned.soa.edges
+        assert ("a", "z") not in pruned.soa.edges
+
+
+class TestDenoising:
+    def test_thresholds_zero_equals_idtd(self):
+        from repro.core.idtd import idtd
+
+        words = [tuple(w) for w in ["ab", "abb", "b"]]
+        result = idtd_denoised(words)
+        assert result.regex == idtd(words)
+        assert not result.dropped_symbols
+        assert not result.dropped_edges
+
+    def test_xhtml_scenario_intruder_removed(self):
+        """The paper's <p> case: rare disallowed children disappear."""
+        rng = random.Random(4)
+        target = parse_regex("(a + b + c + d)*")
+        clean = padded_sample(target, 400, rng)
+        noisy = inject_intruders(clean, ["table", "h1"], rate=0.01, rng=rng)
+        result = idtd_denoised(noisy.words, symbol_threshold=10)
+        assert set(result.dropped_symbols) <= {"table", "h1"}
+        assert "table" not in result.regex.alphabet()
+        assert language_equivalent(result.regex, target)
+
+    def test_edge_pruning_unsticks_rewrite(self):
+        """A corrupted 2-gram is dropped instead of repaired around."""
+        target = parse_regex("x y z")
+        words = [tuple("xyz")] * 50 + [tuple("xzy")]  # one scrambled word
+        result = idtd_denoised(words, edge_threshold=1)
+        assert result.dropped_edges  # the rare grams were deleted
+        assert language_equivalent(result.regex, target)
+        assert not matches(result.regex, tuple("xzy"))
+
+    def test_lazy_mode_keeps_absorbable_noise(self):
+        """The paper-literal variant prunes only while rewrite is stuck,
+        so low-support structure rewrite can express survives."""
+        words = [tuple("xyz")] * 50 + [tuple("xzy")]
+        result = idtd_denoised(words, edge_threshold=1, eager=False)
+        assert matches(result.regex, tuple("xyz"))
+        # lazy pruning stops as soon as a SORE exists; the answer may
+        # still cover part of the noise word's structure
+        assert result.regex.alphabet() == {"x", "y", "z"}
+
+    def test_denoised_may_exclude_noise_words(self):
+        words = [tuple("ab")] * 20 + [tuple("ba")]
+        result = idtd_denoised(words, edge_threshold=1)
+        assert matches(result.regex, tuple("ab"))
+        assert not matches(result.regex, tuple("ba"))
+
+    def test_all_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            idtd_denoised([("a",)], symbol_threshold=10)

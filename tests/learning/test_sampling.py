@@ -1,0 +1,72 @@
+"""Reservoir sampling and the covering-subsample protocol."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.learning.sampling import covering_subsample, reservoir_sample
+
+
+class TestReservoir:
+    def test_small_stream_returned_whole(self):
+        rng = random.Random(0)
+        assert sorted(reservoir_sample(range(3), 10, rng)) == [0, 1, 2]
+
+    def test_sample_size_respected(self):
+        rng = random.Random(0)
+        assert len(reservoir_sample(range(100), 7, rng)) == 7
+
+    def test_no_duplicates(self):
+        rng = random.Random(1)
+        sample = reservoir_sample(range(50), 20, rng)
+        assert len(set(sample)) == 20
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(range(5), -1, random.Random(0))
+
+    def test_roughly_uniform(self):
+        """Every item should be picked ~ size/n of the time."""
+        rng = random.Random(42)
+        counts: Counter[int] = Counter()
+        trials, size, population = 3000, 5, 20
+        for _ in range(trials):
+            counts.update(reservoir_sample(range(population), size, rng))
+        expected = trials * size / population
+        for item in range(population):
+            assert 0.7 * expected < counts[item] < 1.3 * expected
+
+    def test_zero_size(self):
+        assert reservoir_sample(range(5), 0, random.Random(0)) == []
+
+
+class TestCoveringSubsample:
+    def test_contains_all_required_symbols(self):
+        rng = random.Random(7)
+        words = [("a",)] * 50 + [("b",)] + [("c",)]
+        for _ in range(20):
+            sample = covering_subsample(words, 3, rng)
+            seen = {s for word in sample for s in word}
+            assert seen == {"a", "b", "c"}
+
+    def test_size_respected_when_coverage_allows(self):
+        rng = random.Random(3)
+        words = [("a", "b", "c", "d")] * 3 + [(s,) for s in "abcd"] * 5
+        assert len(covering_subsample(words, 6, rng)) == 6
+
+    def test_size_exceeded_only_for_coverage(self):
+        # 8 distinct singleton symbols cannot fit in 6 words: coverage wins.
+        rng = random.Random(3)
+        words = [(s,) for s in "abcdefgh"] * 5
+        sample = covering_subsample(words, 6, rng)
+        assert {s for w in sample for s in w} == set("abcdefgh")
+        assert len(sample) == 8
+
+    def test_explicit_required_set(self):
+        rng = random.Random(5)
+        words = [("a", "b"), ("c",), ("a",)] * 10
+        sample = covering_subsample(
+            words, 2, rng, required_symbols=frozenset({"c"})
+        )
+        assert any("c" in word for word in sample)

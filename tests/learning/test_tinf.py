@@ -1,0 +1,91 @@
+"""2T-INF and the k-testable generalisation (Section 4)."""
+
+from hypothesis import given, settings
+
+from repro.learning.tinf import ktinf, sample_two_grams, tinf
+
+from ..conftest import word_samples
+
+
+class TestTwoGrams:
+    def test_paper_running_example(self):
+        """w = bacacdacde has 2-grams {ba, ac, ca, cd, da, de}."""
+        initial, final, grams, alphabet, has_empty = sample_two_grams(
+            [tuple("bacacdacde")]
+        )
+        assert grams == {
+            ("b", "a"), ("a", "c"), ("c", "a"), ("c", "d"), ("d", "a"),
+            ("d", "e"),
+        }
+        assert initial == {"b"} and final == {"e"}
+        assert not has_empty
+
+    def test_empty_words_flagged(self):
+        *_, has_empty = sample_two_grams([(), ("a",)])
+        assert has_empty
+
+
+class TestTinf:
+    def test_figure1_automaton(self):
+        words = [tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]]
+        soa = tinf(words)
+        assert soa.initial == {"a", "b", "c"}
+        assert soa.final == {"e"}
+        expected = "aa ad ac ab ba bc cb cc ca cd da db dc de"
+        assert soa.edges == {(g[0], g[1]) for g in expected.split()}
+
+    def test_figure2_automaton_is_smaller(self):
+        fig1 = tinf([tuple(w) for w in ["bacacdacde", "cbacdbacde", "abccaadcde"]])
+        fig2 = tinf([tuple(w) for w in ["bacacdacde", "cbacdbacde"]])
+        assert fig2.edges < fig1.edges
+        assert fig2.initial < fig1.initial
+
+    @settings(max_examples=60, deadline=None)
+    @given(word_samples())
+    def test_sample_always_accepted(self, words):
+        """The inferred automaton covers the sample (smallest 2-testable)."""
+        soa = tinf(words)
+        for word in words:
+            assert soa.accepts(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(word_samples())
+    def test_monotone_in_the_sample(self, words):
+        """More data, larger (or equal) language."""
+        half = words[: max(1, len(words) // 2)]
+        assert tinf(half).language_included(tinf(words))
+
+    def test_empty_sample(self):
+        soa = tinf([])
+        assert not soa.symbols
+        assert not soa.accepts(("a",))
+
+
+class TestKTestable:
+    def test_k2_agrees_with_soa_on_sample(self):
+        words = [tuple(w) for w in ["abab", "abb", "ba"]]
+        automaton = ktinf(words, k=2)
+        soa = tinf(words)
+        for word in words:
+            assert automaton.accepts(word) and soa.accepts(word)
+
+    def test_k3_is_stricter_than_k2(self):
+        words = [tuple("abc"), tuple("cab")]
+        k2 = ktinf(words, k=2)
+        k3 = ktinf(words, k=3)
+        witness = tuple("abcab")  # all 2-grams seen, 3-gram 'bca' unseen
+        assert k2.accepts(witness)
+        assert not k3.accepts(witness)
+        for word in words:
+            assert k2.accepts(word) and k3.accepts(word)
+
+    def test_short_words_memorised(self):
+        automaton = ktinf([("a",), ("a", "b", "c")], k=3)
+        assert automaton.accepts(("a",))
+        assert not automaton.accepts(("b",))
+
+    def test_invalid_k(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ktinf([], k=1)

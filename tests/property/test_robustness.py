@@ -1,0 +1,72 @@
+"""Robustness: hostile inputs must fail cleanly, never crash oddly.
+
+A library that ingests web-crawled XML gets fed garbage; every parser
+entry point must either succeed or raise its documented error type.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.parser import RegexSyntaxError, parse_regex
+from repro.xmlio.dtd import DtdSyntaxError, parse_dtd
+from repro.xmlio.parser import XmlSyntaxError, parse_document
+
+SETTINGS = settings(max_examples=300, deadline=None)
+
+_xmlish = st.text(
+    alphabet=st.sampled_from(list("<>/='\"abc &;#![]-?\n \t")), max_size=60
+)
+_regexish = st.text(
+    alphabet=st.sampled_from(list("ab|,+*?(){}123 ")), max_size=40
+)
+
+
+@SETTINGS
+@given(_xmlish)
+def test_xml_parser_fails_cleanly(text):
+    try:
+        document = parse_document(text)
+    except XmlSyntaxError:
+        return
+    assert document.root.name
+
+
+def test_overflowing_character_reference_is_a_syntax_error():
+    import pytest
+
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<r>&#99999999999;</r>")
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<r>&#xFFFFFFFFF;</r>")
+
+
+@SETTINGS
+@given(_regexish)
+def test_regex_parser_fails_cleanly(text):
+    try:
+        parsed = parse_regex(text)
+    except RegexSyntaxError:
+        return
+    # success must round-trip
+    from repro.regex.printer import to_paper_syntax
+
+    assert parse_regex(to_paper_syntax(parsed)) == parsed
+
+
+@SETTINGS
+@given(_xmlish)
+def test_dtd_parser_fails_cleanly(text):
+    try:
+        dtd = parse_dtd(text)
+    except (DtdSyntaxError, RegexSyntaxError):
+        return
+    assert dtd.elements is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=30))
+def test_xml_parser_on_arbitrary_unicode(text):
+    try:
+        parse_document(text)
+    except XmlSyntaxError:
+        pass

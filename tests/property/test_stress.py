@@ -1,0 +1,114 @@
+"""Stress tests: adversarial inputs that must never crash or hang.
+
+The paper notes that for fixed k and n there exist SOAs where the
+restricted iDTD fails, while "the unrestricted variant always
+succeeds" — our escalation ladder implements that variant, and these
+tests hammer it with dense random automata far uglier than any real
+corpus produces.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata.compare import soa_included_in_regex
+from repro.automata.soa import SOA
+from repro.core.crx import crx
+from repro.core.idtd import idtd_from_soa
+from repro.learning.tinf import tinf
+from repro.regex.classify import is_chare, is_sore
+
+STRESS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_dense_soa(rng: random.Random, symbols: int, density: float) -> SOA:
+    names = [f"s{i}" for i in range(symbols)]
+    edges = {
+        (a, b)
+        for a in names
+        for b in names
+        if rng.random() < density
+    }
+    initial = {name for name in names if rng.random() < 0.4} or {names[0]}
+    final = {name for name in names if rng.random() < 0.4} or {names[-1]}
+    return SOA(
+        symbols=set(names), initial=initial, final=final, edges=edges
+    ).trimmed()
+
+
+@STRESS
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=2, max_value=12),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+def test_unrestricted_idtd_always_succeeds(seed, symbols, density):
+    """Theorem 2 under duress: dense random SOAs of up to 12 symbols."""
+    soa = random_dense_soa(random.Random(seed), symbols, density)
+    if not soa.symbols:
+        return
+    result = idtd_from_soa(soa)
+    assert is_sore(result.regex)
+    assert soa_included_in_regex(soa, result.regex)
+
+
+@STRESS
+@given(st.integers(min_value=0, max_value=2**31))
+def test_long_words_and_large_alphabets(seed):
+    rng = random.Random(seed)
+    alphabet = [f"e{i}" for i in range(rng.randint(8, 25))]
+    words = [
+        tuple(rng.choice(alphabet) for _ in range(rng.randint(0, 40)))
+        for _ in range(rng.randint(1, 30))
+    ]
+    if not any(words):
+        return
+    sore = idtd_from_soa(tinf(words)).regex
+    chare = crx(words)
+    assert is_sore(sore)
+    assert is_chare(chare)
+
+
+def test_single_state_with_all_flags():
+    """Degenerate single-symbol SOAs in every configuration."""
+    for has_loop in (False, True):
+        for empty in (False, True):
+            soa = SOA(
+                symbols={"a"},
+                initial={"a"},
+                final={"a"},
+                edges={("a", "a")} if has_loop else set(),
+                accepts_empty=empty,
+            )
+            result = idtd_from_soa(soa)
+            assert soa_included_in_regex(soa, result.regex)
+
+
+def test_pathological_chain_of_optionals():
+    """A 20-long chain of skippable elements (the genetics shape, bigger)."""
+    names = [f"o{i}" for i in range(20)]
+    # words: full chain, and each single element (everything optional)
+    words = [tuple(names)] + [(name,) for name in names] + [()]
+    sore = idtd_from_soa(tinf(words)).regex
+    assert is_sore(sore)
+    from repro.regex.language import matches
+
+    for word in words:
+        assert matches(sore, word)
+
+
+def test_complete_graph_collapses_to_star():
+    """The all-edges SOA is exactly (a1+...+an)* — both learners get it."""
+    names = [f"x{i}" for i in range(6)]
+    words = [tuple(names), *[(a, b) for a in names for b in names], ()]
+    from repro.regex.language import language_equivalent
+    from repro.regex.parser import parse_regex
+
+    target = parse_regex("(" + " + ".join(sorted(names)) + ")*")
+    assert language_equivalent(idtd_from_soa(tinf(words)).regex, target)
+    assert language_equivalent(crx(words), target)

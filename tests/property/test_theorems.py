@@ -1,0 +1,110 @@
+"""Property-based tests of the paper's theorems, end to end.
+
+These are the heavyweight invariants; the per-module suites test the
+mechanics, this file tests the *claims*:
+
+* Theorem 1 — rewrite is sound and complete on SOAs of SOREs;
+* Theorem 2 — iDTD always yields a SORE superset;
+* Theorem 3 — CRX always yields a CHARE superset;
+* Theorem 4 — CRX recovers every CHARE from its representative sample;
+* Claim 2  — rewrite is confluent (any rule order works);
+* Proposition 1 — SOAs of SOREs are unique (language-canonical).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata.compare import soa_included_in_regex
+from repro.automata.soa import SOA
+from repro.core.crx import crx
+from repro.core.idtd import idtd_from_soa
+from repro.core.rewrite import rewrite
+from repro.datagen.strings import representative_sample
+from repro.learning.tinf import tinf
+from repro.regex.classify import is_chare, is_sore
+from repro.regex.language import language_equivalent, matches
+from repro.regex.normalize import normalize
+
+from ..conftest import build_random_sore, chares, sores, word_samples
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(sores(max_symbols=8))
+def test_theorem1_soundness_and_completeness(target):
+    soa = SOA.from_regex(target)
+    result = rewrite(soa)
+    assert result.succeeded
+    assert language_equivalent(result.regex, target)
+    assert is_sore(result.regex)
+
+
+@RELAXED
+@given(word_samples())
+def test_theorem2_idtd_superset(words):
+    if not any(words):
+        return
+    soa = tinf(words)
+    result = idtd_from_soa(soa)
+    assert is_sore(result.regex)
+    assert soa_included_in_regex(soa, result.regex)
+
+
+@RELAXED
+@given(word_samples())
+def test_theorem3_crx_superset(words):
+    if not any(words):
+        return
+    regex = crx(words)
+    assert is_chare(regex)
+    assert all(matches(regex, word) for word in words)
+
+
+@RELAXED
+@given(chares(max_symbols=8))
+def test_theorem4_crx_completeness(target):
+    sample = representative_sample(target)
+    assert language_equivalent(crx(sample), target)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_claim2_confluence(sore_seed, order_seed):
+    rng = random.Random(sore_seed)
+    target = normalize(
+        build_random_sore(rng, [f"x{i}" for i in range(rng.randint(1, 6))])
+    )
+    result = rewrite(SOA.from_regex(target), rng=random.Random(order_seed))
+    assert result.succeeded
+    assert language_equivalent(result.regex, target)
+
+
+@RELAXED
+@given(sores(max_symbols=7))
+def test_proposition1_soa_is_canonical(target):
+    """Two language-equal SOREs have identical (trimmed) SOAs."""
+    result = rewrite(SOA.from_regex(target))
+    round_tripped = SOA.from_regex(result.regex)
+    assert round_tripped.language_equal(SOA.from_regex(target))
+    assert round_tripped.trimmed().edges == SOA.from_regex(target).trimmed().edges
+
+
+@RELAXED
+@given(sores(max_symbols=6))
+def test_learning_pipeline_from_representative_samples(target):
+    """2T-INF + rewrite learns every SORE from a representative sample
+    — the composition that justifies iDTD's design."""
+    sample = representative_sample(target)
+    result = rewrite(tinf(sample))
+    assert result.succeeded
+    assert language_equivalent(result.regex, target)

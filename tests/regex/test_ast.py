@@ -1,0 +1,127 @@
+"""Unit tests for the regular expression AST and smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    Concat,
+    Disj,
+    Opt,
+    Plus,
+    Repeat,
+    Star,
+    Sym,
+    chain_factor,
+    concat,
+    disj,
+    sym,
+    syms,
+)
+
+
+class TestConstructors:
+    def test_sym_requires_name(self):
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_concat_flattens_nested(self):
+        expression = concat(concat(Sym("a"), Sym("b")), Sym("c"))
+        assert expression == Concat((Sym("a"), Sym("b"), Sym("c")))
+
+    def test_concat_of_one_is_identity(self):
+        assert concat(Sym("a")) == Sym("a")
+
+    def test_concat_of_zero_rejected(self):
+        with pytest.raises(ValueError):
+            concat()
+
+    def test_disj_flattens_and_deduplicates(self):
+        expression = disj(disj(Sym("a"), Sym("b")), Sym("a"), Sym("c"))
+        assert expression == Disj((Sym("a"), Sym("b"), Sym("c")))
+
+    def test_disj_of_one_is_identity(self):
+        assert disj(Sym("a"), Sym("a")) == Sym("a")
+
+    def test_concat_class_rejects_single_part(self):
+        with pytest.raises(ValueError):
+            Concat((Sym("a"),))
+
+    def test_disj_class_rejects_single_option(self):
+        with pytest.raises(ValueError):
+            Disj((Sym("a"),))
+
+    def test_chain_factor_quantifiers(self):
+        assert chain_factor(["a"], "") == Sym("a")
+        assert chain_factor(["a", "b"], "?") == Opt(Disj((Sym("a"), Sym("b"))))
+        assert chain_factor(["a"], "+") == Plus(Sym("a"))
+        assert chain_factor(["a"], "*") == Star(Sym("a"))
+        with pytest.raises(ValueError):
+            chain_factor(["a"], "!")
+
+    def test_syms_builds_symbol_list(self):
+        assert syms(["a", "b"]) == [Sym("a"), Sym("b")]
+        assert sym("a") == Sym("a")
+
+
+class TestRepeatValidation:
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            Repeat(Sym("a"), -1, 2)
+
+    def test_high_below_low_rejected(self):
+        with pytest.raises(ValueError):
+            Repeat(Sym("a"), 3, 2)
+
+    def test_zero_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Repeat(Sym("a"), 0, 0)
+
+    def test_unbounded_high_allowed(self):
+        assert Repeat(Sym("a"), 2, None).nullable() is False
+        assert Repeat(Sym("a"), 0, None).nullable() is True
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            (Sym("a"), False),
+            (Opt(Sym("a")), True),
+            (Plus(Sym("a")), False),
+            (Star(Sym("a")), True),
+            (concat(Opt(Sym("a")), Opt(Sym("b"))), True),
+            (concat(Opt(Sym("a")), Sym("b")), False),
+            (disj(Sym("a"), Opt(Sym("b"))), True),
+            (disj(Sym("a"), Sym("b")), False),
+            (Plus(Opt(Sym("a"))), True),
+        ],
+    )
+    def test_nullable(self, expression, expected):
+        assert expression.nullable() is expected
+
+
+class TestQueries:
+    def test_alphabet(self):
+        expression = concat(Sym("a"), disj(Sym("b"), Plus(Sym("c"))))
+        assert expression.alphabet() == {"a", "b", "c"}
+
+    def test_symbol_occurrences_counts_repeats(self):
+        expression = concat(Sym("a"), Star(disj(Sym("a"), Sym("b"))))
+        assert expression.symbol_occurrences() == {"a": 2, "b": 1}
+
+    def test_token_count_matches_paper_example(self):
+        # ((b?(a+c))+d)+e: 5 symbols, ?, +, +, two binary + joints... the
+        # paper counts "tokens"; our measure: 5 syms + 3 unary + 1 disj
+        # joint + 3 concat joints = 12.
+        from repro.regex.parser import parse_regex
+
+        assert parse_regex("((b? (a + c))+ d)+ e").token_count() == 12
+
+    def test_walk_preorder(self):
+        expression = concat(Sym("a"), Opt(Sym("b")))
+        kinds = [type(node).__name__ for node in expression.walk()]
+        assert kinds == ["Concat", "Sym", "Opt", "Sym"]
+
+    def test_combinators(self):
+        assert Sym("a").opt() == Opt(Sym("a"))
+        assert Sym("a").plus() == Plus(Sym("a"))
+        assert Sym("a").star() == Star(Sym("a"))

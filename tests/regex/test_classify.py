@@ -1,0 +1,80 @@
+"""SORE / CHARE / determinism classification (the paper's definitions)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex.classify import (
+    is_chare,
+    is_deterministic,
+    is_single_occurrence,
+    is_sore,
+)
+from repro.regex.parser import parse_regex
+
+from ..conftest import chares, sores
+
+
+class TestSore:
+    def test_paper_positive_example(self):
+        # "((b?(a + c))+d)+e is SORE"
+        assert is_sore(parse_regex("((b? (a + c))+ d)+ e"))
+
+    def test_paper_negative_example(self):
+        # "a(a + b)* is not as a occurs twice"
+        assert not is_sore(parse_regex("a (a + b)*"))
+
+    def test_repeat_nodes_are_not_sores(self):
+        assert not is_sore(parse_regex("a{2,}"))
+
+    def test_single_occurrence_counts_all_nodes(self):
+        assert is_single_occurrence(parse_regex("a b? (c + d)*"))
+        assert not is_single_occurrence(parse_regex("a b a"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(sores())
+    def test_generated_sores_classify_as_sores(self, expression):
+        assert is_sore(expression)
+
+
+class TestChare:
+    def test_paper_positive_example(self):
+        # "a(b + c)*d+(e + f)? is a CHARE"
+        assert is_chare(parse_regex("a (b + c)* d+ (e + f)?"))
+
+    @pytest.mark.parametrize("text", ["(a b + c)*", "(a* + b?)*"])
+    def test_paper_negative_examples(self, text):
+        assert not is_chare(parse_regex(text))
+
+    def test_every_chare_is_a_sore(self):
+        expression = parse_regex("a (b + c)* d+")
+        assert is_chare(expression) and is_sore(expression)
+
+    def test_sore_that_is_not_a_chare(self):
+        expression = parse_regex("((b? (a + c))+ d)+ e")
+        assert is_sore(expression) and not is_chare(expression)
+
+    def test_single_factor_chares(self):
+        assert is_chare(parse_regex("a"))
+        assert is_chare(parse_regex("(a + b)+"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(chares())
+    def test_generated_chares_classify_as_chares(self, expression):
+        assert is_chare(expression)
+
+
+class TestDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(sores())
+    def test_every_sore_is_deterministic(self, expression):
+        # "every SORE ... is deterministic (one-unambiguous) as required
+        # by the XML specification"
+        assert is_deterministic(expression)
+
+    def test_classic_nondeterministic_expression(self):
+        # (a + b)* a is the textbook non-one-unambiguous expression.
+        assert not is_deterministic(parse_regex("(a + b)* a"))
+
+    def test_deterministic_with_repeated_symbols(self):
+        # a (a + b)* repeats a but is still deterministic.
+        assert is_deterministic(parse_regex("a (a + b)*"))

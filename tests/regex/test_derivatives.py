@@ -1,0 +1,76 @@
+"""Brzozowski derivatives: differential oracle against Glushkov."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.derivatives import matches_by_derivatives
+from repro.regex.language import matches
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+class TestBasics:
+    def test_simple_membership(self):
+        expression = parse_regex("a (b + c)* d")
+        assert matches_by_derivatives(expression, ("a", "d"))
+        assert matches_by_derivatives(expression, ("a", "b", "c", "d"))
+        assert not matches_by_derivatives(expression, ("a",))
+        assert not matches_by_derivatives(expression, ("d",))
+
+    def test_empty_word(self):
+        assert matches_by_derivatives(parse_regex("a?"), ())
+        assert not matches_by_derivatives(parse_regex("a"), ())
+
+    def test_repeat_bounds(self):
+        expression = parse_regex("a{2,3}")
+        assert not matches_by_derivatives(expression, ("a",))
+        assert matches_by_derivatives(expression, ("a", "a"))
+        assert matches_by_derivatives(expression, ("a", "a", "a"))
+        assert not matches_by_derivatives(expression, ("a",) * 4)
+
+    def test_unbounded_repeat(self):
+        expression = parse_regex("a{3,}")
+        assert not matches_by_derivatives(expression, ("a",) * 2)
+        assert matches_by_derivatives(expression, ("a",) * 9)
+
+    def test_unknown_symbol_kills_the_word(self):
+        assert not matches_by_derivatives(parse_regex("a+"), ("a", "z"))
+
+
+class TestDifferential:
+    """Two independent engines must agree everywhere."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(sores(max_symbols=6), st.integers(min_value=0, max_value=2**31))
+    def test_agrees_with_glushkov_on_random_words(self, expression, seed):
+        rng = random.Random(seed)
+        alphabet = sorted(expression.alphabet())
+        for _ in range(15):
+            word = tuple(
+                rng.choice(alphabet) for _ in range(rng.randint(0, 7))
+            )
+            assert matches_by_derivatives(expression, word) == matches(
+                expression, word
+            )
+
+    def test_agrees_on_exhaustive_short_words(self):
+        expression = parse_regex("(a + b c)? (b + c)+")
+        alphabet = ["a", "b", "c"]
+        for length in range(5):
+            for word in itertools.product(alphabet, repeat=length):
+                assert matches_by_derivatives(expression, word) == matches(
+                    expression, word
+                ), word
+
+    def test_agrees_on_non_sore_expressions(self):
+        expression = parse_regex("a (a + b)* a?")
+        alphabet = ["a", "b"]
+        for length in range(6):
+            for word in itertools.product(alphabet, repeat=length):
+                assert matches_by_derivatives(expression, word) == matches(
+                    expression, word
+                ), word

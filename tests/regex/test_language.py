@@ -1,0 +1,82 @@
+"""Language decision procedures, checked against brute-force oracles."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.language import (
+    counterexample,
+    enumerate_words,
+    language_equivalent,
+    language_included,
+    matches,
+)
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+def brute_force_language(regex, alphabet, max_length):
+    words = set()
+    for length in range(max_length + 1):
+        for word in itertools.product(sorted(alphabet), repeat=length):
+            if matches(regex, word):
+                words.add(word)
+    return words
+
+
+class TestMatches:
+    def test_simple_cases(self):
+        expression = parse_regex("a (b + c)* d")
+        assert matches(expression, ("a", "d"))
+        assert matches(expression, ("a", "b", "c", "b", "d"))
+        assert not matches(expression, ("a",))
+        assert not matches(expression, ("a", "d", "d"))
+
+    def test_empty_word(self):
+        assert matches(parse_regex("a?"), ())
+        assert not matches(parse_regex("a"), ())
+
+
+class TestEnumeration:
+    def test_shortlex_order(self):
+        words = list(enumerate_words(parse_regex("(a + b) c?"), 2))
+        assert words == [("a",), ("b",), ("a", "c"), ("b", "c")]
+
+    def test_limit(self):
+        words = list(enumerate_words(parse_regex("a*"), 10, limit=3))
+        assert words == [(), ("a",), ("a", "a")]
+
+    def test_enumeration_matches_brute_force(self):
+        expression = parse_regex("a? (b + c)+")
+        enumerated = set(enumerate_words(expression, 3))
+        assert enumerated == brute_force_language(expression, {"a", "b", "c"}, 3)
+
+
+class TestInclusion:
+    def test_paper_example1_hierarchy(self):
+        specific = parse_regex("a1+ + (a2? a3+)")
+        general = parse_regex("a1* a2? a3*")
+        assert language_included(specific, general)
+        assert not language_included(general, specific)
+
+    def test_counterexample_is_shortest(self):
+        general = parse_regex("a* b?")
+        specific = parse_regex("a b")
+        witness = counterexample(general, specific)
+        assert witness == ()  # ε belongs to a*b? but not to ab
+
+    def test_counterexample_none_when_included(self):
+        assert counterexample(parse_regex("a b"), parse_regex("a b?")) is None
+
+    def test_equivalence(self):
+        assert language_equivalent(parse_regex("(a?)+"), parse_regex("a*"))
+        assert not language_equivalent(parse_regex("a+"), parse_regex("a*"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(sores(max_symbols=5), st.integers(min_value=0, max_value=3))
+    def test_inclusion_consistent_with_enumeration(self, expression, pad):
+        # every enumerated word of r must match r (self-consistency)
+        for word in itertools.islice(enumerate_words(expression, 4), 50):
+            assert matches(expression, word)

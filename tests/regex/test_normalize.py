@@ -1,0 +1,100 @@
+"""Normal forms: the Claim 1 transformations, simplify laws, canonical."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex.ast import Opt, Plus, Star, Sym
+from repro.regex.language import language_equivalent
+from repro.regex.normalize import (
+    canonical,
+    contract_stars,
+    expand_stars,
+    normalize,
+    simplify,
+    syntactically_equal,
+)
+from repro.regex.parser import parse_regex
+
+from ..conftest import sores
+
+
+class TestOperatorNormalForm:
+    @pytest.mark.parametrize(
+        "given_text,expected_text",
+        [
+            ("a??", "a?"),
+            ("(a+)+", "a+"),
+            ("(a*)*", "a*"),
+            ("(a?)+", "a*"),
+            ("(a+)?", "a*"),
+            ("(a*)?", "a*"),
+            ("(a?)*", "a*"),
+            ("(a+)*", "a*"),
+            ("(a*)+", "a*"),
+            ("((a?)+)?", "a*"),
+        ],
+    )
+    def test_normalize(self, given_text, expected_text):
+        assert normalize(parse_regex(given_text)) == parse_regex(expected_text)
+
+    def test_normalize_recurses(self):
+        assert normalize(parse_regex("(b?? c)+ d")) == parse_regex("(b? c)+ d")
+
+    def test_expand_and_contract_stars_are_inverse_on_star_forms(self):
+        expression = parse_regex("a* (b c*)+")
+        assert contract_stars(expand_stars(expression)) == expression
+
+    def test_expand_stars_removes_all_stars(self):
+        expanded = expand_stars(parse_regex("a* (b c*)+"))
+        assert not any(isinstance(node, Star) for node in expanded.walk())
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "given_text,expected_text",
+        [
+            ("(a? + b)", "(a + b)?"),
+            ("(a+ + b)+", "(a + b)+"),
+            ("(a* + b)+", "(a + b)*"),
+            ("(a+ + b + c+)+", "(a + b + c)+"),
+            ("(a? + b+)+", "(a + b)*"),
+            ("((a+ + c + e)+ + d+)+", "(a + c + e + d)+"),
+        ],
+    )
+    def test_simplify(self, given_text, expected_text):
+        assert simplify(parse_regex(given_text)) == parse_regex(expected_text)
+
+    def test_simplify_leaves_plain_disjunction_alone(self):
+        # (a+ + b) is NOT (a + b): simplification only under +/*.
+        expression = parse_regex("a+ + b")
+        assert simplify(expression) == expression
+
+    @settings(max_examples=60, deadline=None)
+    @given(sores())
+    def test_simplify_preserves_language(self, expression):
+        assert language_equivalent(simplify(expression), expression)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sores())
+    def test_normalize_preserves_language(self, expression):
+        assert language_equivalent(normalize(expression), expression)
+
+
+class TestCanonical:
+    def test_commutative_equality(self):
+        assert syntactically_equal(
+            parse_regex("(a|b|c) d"), parse_regex("(c|a|b) d")
+        )
+
+    def test_distinguishes_different_structures(self):
+        assert not syntactically_equal(parse_regex("a b"), parse_regex("b a"))
+        assert not syntactically_equal(parse_regex("a?"), parse_regex("a"))
+
+    def test_canonical_is_idempotent(self):
+        expression = parse_regex("((c|a)+ b?)+")
+        assert canonical(canonical(expression)) == canonical(expression)
+
+    def test_canonical_sorts_nested_disjunctions(self):
+        left = canonical(parse_regex("(b|a) (d|c)?"))
+        right = canonical(parse_regex("(a|b) (c|d)?"))
+        assert left == right

@@ -1,0 +1,95 @@
+"""Parser tests: both syntaxes, the glued-plus rule, and error cases."""
+
+import pytest
+
+from repro.regex.ast import Concat, Disj, Opt, Plus, Repeat, Star, Sym
+from repro.regex.parser import RegexSyntaxError, parse_regex
+from repro.regex.printer import to_dtd_syntax, to_paper_syntax
+
+
+class TestBasics:
+    def test_single_symbol(self):
+        assert parse_regex("a") == Sym("a")
+
+    def test_multicharacter_names(self):
+        assert parse_regex("title") == Sym("title")
+        assert parse_regex("a12") == Sym("a12")
+
+    def test_juxtaposition_concatenates(self):
+        assert parse_regex("a b c") == Concat((Sym("a"), Sym("b"), Sym("c")))
+
+    def test_comma_concatenates(self):
+        assert parse_regex("a,b,c") == Concat((Sym("a"), Sym("b"), Sym("c")))
+
+    def test_pipe_disjoins(self):
+        assert parse_regex("a|b") == Disj((Sym("a"), Sym("b")))
+
+    def test_spaced_plus_disjoins(self):
+        assert parse_regex("a + b") == Disj((Sym("a"), Sym("b")))
+
+    def test_postfix_operators(self):
+        assert parse_regex("a?") == Opt(Sym("a"))
+        assert parse_regex("a*") == Star(Sym("a"))
+        assert parse_regex("a+") == Plus(Sym("a"))
+
+    def test_repeat_bounds(self):
+        assert parse_regex("a{2,5}") == Repeat(Sym("a"), 2, 5)
+        assert parse_regex("a{3,}") == Repeat(Sym("a"), 3, None)
+        assert parse_regex("a{4}") == Repeat(Sym("a"), 4, 4)
+
+
+class TestGluedPlus:
+    """The whitespace-sensitive resolution of the paper's typography."""
+
+    def test_glued_plus_is_postfix(self):
+        assert parse_regex("a+ b") == Concat((Plus(Sym("a")), Sym("b")))
+
+    def test_double_plus_is_postfix_then_binary(self):
+        # the paper's a1++(a2 a3?) pattern
+        parsed = parse_regex("a1++(a2 a3?)")
+        assert parsed == Disj(
+            (Plus(Sym("a1")), Concat((Sym("a2"), Opt(Sym("a3")))))
+        )
+
+    def test_plus_after_group_is_postfix(self):
+        parsed = parse_regex("(a|b)+c")
+        assert parsed == Concat((Plus(Disj((Sym("a"), Sym("b")))), Sym("c")))
+
+    def test_documented_ambiguity_resolution(self):
+        # a+b reads as (a+) b, per the parser's documented rule.
+        assert parse_regex("a+b") == Concat((Plus(Sym("a")), Sym("b")))
+
+
+class TestRoundTrips:
+    EXPRESSIONS = [
+        "((b? (a + c))+ d)+ e",
+        "a1+ + a2? a3+",
+        "a (b + c)* d+ (e + f)?",
+        "a1 a2 (a3 + a4)? a5 a6? a7? a9? a8?",
+        "x{2,} y{3,3}",
+    ]
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_paper_syntax_round_trip(self, text):
+        parsed = parse_regex(text)
+        assert parse_regex(to_paper_syntax(parsed)) == parsed
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_dtd_syntax_round_trip(self, text):
+        parsed = parse_regex(text)
+        assert parse_regex(to_dtd_syntax(parsed)) == parsed
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "  ", "(", "a)", "(a", "a |", "| a", "a ^ b", "a{,}", "a{x,y}", "a{"],
+    )
+    def test_malformed_input_raises(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse_regex("a ^ b")
+        assert info.value.position == 2

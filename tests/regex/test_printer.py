@@ -1,0 +1,37 @@
+"""Printer tests: minimal parentheses, both syntaxes."""
+
+import pytest
+
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_dtd_syntax, to_paper_syntax
+
+
+@pytest.mark.parametrize(
+    "text,paper,dtd",
+    [
+        ("a b c", "a b c", "a,b,c"),
+        ("a|b|c", "a + b + c", "a|b|c"),
+        ("(a|b) c", "(a + b) c", "(a|b),c"),
+        ("a|b c", "a + b c", "a|b,c"),
+        ("((b?(a|c))+d)+e", "((b? (a + c))+ d)+ e", "((b?,(a|c))+,d)+,e"),
+        ("(a b)?", "(a b)?", "(a,b)?"),
+        ("a{2,}", "a{2,}", "a{2,}"),
+        ("(a|b){1,3}", "(a + b){1,3}", "(a|b){1,3}"),
+    ],
+)
+def test_rendering(text, paper, dtd):
+    parsed = parse_regex(text)
+    assert to_paper_syntax(parsed) == paper
+    assert to_dtd_syntax(parsed) == dtd
+
+
+def test_postfix_on_postfix_parenthesised():
+    # normalizer would make these a*, but the raw trees must round-trip;
+    # stacked postfix operators are parenthesised (``a++`` would read as
+    # a binary disjunction)
+    parsed = parse_regex("(a+)?")
+    assert to_paper_syntax(parsed) == "(a+)?"
+    assert parse_regex(to_paper_syntax(parsed)) == parsed
+    double_plus = parse_regex("(a+)+")
+    assert to_paper_syntax(double_plus) == "(a+)+"
+    assert parse_regex(to_paper_syntax(double_plus)) == double_plus

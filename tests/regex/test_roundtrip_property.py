@@ -1,0 +1,61 @@
+"""Property: printing and re-parsing is the identity, for both syntaxes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import Concat, Disj, Opt, Plus, Repeat, Star, Sym
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_dtd_syntax, to_paper_syntax
+
+# A strategy over arbitrary REs (repeated symbols allowed, unlike the
+# SORE strategies in conftest) including Repeat nodes.  Built via the
+# smart constructors, so Concat/Disj are flattened — the AST invariant.
+_symbols = st.sampled_from(["a", "b", "c", "title", "a1", "x-y", "p:q"])
+
+from repro.regex.ast import concat, disj
+
+
+def _regexes() -> st.SearchStrategy:
+    return st.recursive(
+        _symbols.map(Sym),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda pair: concat(*pair)),
+            st.tuples(inner, inner, inner).map(lambda triple: concat(*triple)),
+            st.tuples(inner, inner).map(_disj_of),
+            inner.map(Opt),
+            inner.map(Plus),
+            inner.map(Star),
+            st.tuples(
+                inner,
+                st.integers(min_value=0, max_value=5),
+                st.one_of(st.none(), st.integers(min_value=5, max_value=9)),
+            ).map(lambda t: Repeat(t[0], t[1], t[2])),
+        ),
+        max_leaves=12,
+    )
+
+
+def _disj_of(pair):
+    first, second = pair
+    if first == second:  # disj() flattening would drop the duplicate
+        second = concat(second, Sym("zz"))
+    return disj(first, second)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_regexes())
+def test_paper_syntax_round_trip(regex):
+    assert parse_regex(to_paper_syntax(regex)) == regex
+
+
+@settings(max_examples=200, deadline=None)
+@given(_regexes())
+def test_dtd_syntax_round_trip(regex):
+    assert parse_regex(to_dtd_syntax(regex)) == regex
+
+
+@settings(max_examples=100, deadline=None)
+@given(_regexes())
+def test_token_count_stable_under_round_trip(regex):
+    reparsed = parse_regex(to_paper_syntax(regex))
+    assert reparsed.token_count() == regex.token_count()

@@ -1,0 +1,39 @@
+"""Datatype sniffing heuristics (Section 9)."""
+
+import pytest
+
+from repro.xmlio.datatypes import sniff_type
+
+
+@pytest.mark.parametrize(
+    "values,expected",
+    [
+        ([], "xs:string"),
+        (["true", "false"], "xs:boolean"),
+        (["1", "0", "true"], "xs:boolean"),
+        (["1", "2", "42", "-7"], "xs:integer"),
+        (["1.5", "2", "-0.25"], "xs:decimal"),
+        (["1e5", "2.5", "-3E-2"], "xs:double"),
+        (["2006-09-12", "2006-09-15"], "xs:date"),
+        (["09:00:00", "17:30:00Z"], "xs:time"),
+        (["2006-09-12T09:00:00"], "xs:dateTime"),
+        (["token-1", "a.b.c", "x:y"], "xs:NMTOKEN"),
+        (["hello world"], "xs:string"),
+        (["1", "hello world"], "xs:string"),
+        (["  42  ", "7"], "xs:integer"),
+        (["", "  "], "xs:string"),
+    ],
+)
+def test_sniff_type(values, expected):
+    assert sniff_type(values) == expected
+
+
+def test_integer_is_preferred_over_nmtoken():
+    # integers are lexically NMTOKENs; the ladder must pick the
+    # more specific type
+    assert sniff_type(["123"]) == "xs:integer"
+
+
+def test_mixed_numerics_fall_to_widest_numeric():
+    assert sniff_type(["1", "2.5"]) == "xs:decimal"
+    assert sniff_type(["1", "2.5", "3e2"]) == "xs:double"

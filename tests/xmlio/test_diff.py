@@ -1,0 +1,91 @@
+"""DTD diffing (schema cleaning / noise analysis)."""
+
+from repro.xmlio.diff import diff_dtds
+from repro.xmlio.dtd import parse_dtd
+
+
+def by_element(diffs):
+    return {entry.element: entry for entry in diffs}
+
+
+class TestRelations:
+    def test_equal(self):
+        old = parse_dtd("<!ELEMENT r (a, b?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        new = parse_dtd("<!ELEMENT r (a, b?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        assert all(entry.relation == "equal" for entry in diff_dtds(old, new))
+
+    def test_refinfo_schema_cleaning(self):
+        """The paper's scenario: the new model is strictly tighter."""
+        old = parse_dtd(
+            "<!ELEMENT refinfo (authors, volume?, month?, year)>"
+            "<!ELEMENT authors EMPTY><!ELEMENT volume EMPTY>"
+            "<!ELEMENT month EMPTY><!ELEMENT year EMPTY>"
+        )
+        new = parse_dtd(
+            "<!ELEMENT refinfo (authors, (volume | month)?, year)>"
+            "<!ELEMENT authors EMPTY><!ELEMENT volume EMPTY>"
+            "<!ELEMENT month EMPTY><!ELEMENT year EMPTY>"
+        )
+        entry = by_element(diff_dtds(old, new))["refinfo"]
+        assert entry.relation == "tighter"
+        assert entry.only_in_old == ("authors", "volume", "month", "year")
+
+    def test_noise_makes_model_looser(self):
+        old = parse_dtd("<!ELEMENT p (em*)><!ELEMENT em EMPTY>")
+        new = parse_dtd(
+            "<!ELEMENT p (em | table)*><!ELEMENT em EMPTY>"
+            "<!ELEMENT table EMPTY>"
+        )
+        diffs = by_element(diff_dtds(old, new))
+        assert diffs["p"].relation == "looser"
+        assert "table" in diffs["p"].only_in_new
+        assert diffs["table"].relation == "missing-old"
+
+    def test_incomparable(self):
+        old = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        new = parse_dtd("<!ELEMENT r (b, a)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        entry = by_element(diff_dtds(old, new))["r"]
+        assert entry.relation == "incomparable"
+        assert entry.only_in_old == ("a", "b")
+        assert entry.only_in_new == ("b", "a")
+
+    def test_missing_elements(self):
+        old = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT gone EMPTY>")
+        new = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT fresh EMPTY>")
+        diffs = by_element(diff_dtds(old, new))
+        assert diffs["gone"].relation == "missing-new"
+        assert diffs["fresh"].relation == "missing-old"
+
+
+class TestContentKinds:
+    def test_any_vs_children(self):
+        old = parse_dtd("<!ELEMENT r ANY><!ELEMENT a EMPTY>")
+        new = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        assert by_element(diff_dtds(old, new))["r"].relation == "tighter"
+        assert by_element(diff_dtds(new, old))["r"].relation == "looser"
+
+    def test_empty_vs_children(self):
+        old = parse_dtd("<!ELEMENT r EMPTY>")
+        new = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        assert by_element(diff_dtds(old, new))["r"].relation == "looser"
+        assert by_element(diff_dtds(new, old))["r"].relation == "tighter"
+
+    def test_pcdata_equals_empty_childwise(self):
+        old = parse_dtd("<!ELEMENT r (#PCDATA)>")
+        new = parse_dtd("<!ELEMENT r EMPTY>")
+        assert by_element(diff_dtds(old, new))["r"].relation == "equal"
+
+    def test_mixed_with_names(self):
+        old = parse_dtd("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em EMPTY>")
+        new = parse_dtd(
+            "<!ELEMENT p (#PCDATA | em | q)*><!ELEMENT em EMPTY>"
+            "<!ELEMENT q EMPTY>"
+        )
+        assert by_element(diff_dtds(old, new))["p"].relation == "looser"
+
+    def test_string_rendering(self):
+        old = parse_dtd("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
+        new = parse_dtd("<!ELEMENT r (a?)><!ELEMENT a EMPTY>")
+        entry = by_element(diff_dtds(old, new))["r"]
+        text = str(entry)
+        assert "looser" in text and "ε" in text

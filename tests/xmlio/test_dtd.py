@@ -1,0 +1,116 @@
+"""DTD parsing and serialisation."""
+
+import pytest
+
+from repro.regex.parser import parse_regex
+from repro.xmlio.dtd import (
+    Any,
+    Children,
+    DtdSyntaxError,
+    Empty,
+    Mixed,
+    parse_dtd,
+)
+
+PROTEIN_STYLE = """
+<!-- the paper's refinfo element, with real names -->
+<!ELEMENT refinfo (authors,citation,volume?,month?,year,pages?,(title|description)?,xrefs?)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT xrefs (xref*)>
+<!ELEMENT xref EMPTY>
+<!ATTLIST xref db NMTOKEN #REQUIRED key CDATA #IMPLIED>
+"""
+
+
+class TestParsing:
+    def test_paper_refinfo_model(self):
+        dtd = parse_dtd(PROTEIN_STYLE)
+        model = dtd.elements["refinfo"]
+        assert isinstance(model, Children)
+        expected = parse_regex(
+            "authors, citation, volume?, month?, year, pages?,"
+            "(title|description)?, xrefs?"
+        )
+        assert model.regex == expected
+
+    def test_start_symbol_defaults_to_first_element(self):
+        dtd = parse_dtd(PROTEIN_STYLE)
+        assert dtd.start == "refinfo"
+
+    def test_empty_any_pcdata(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ELEMENT b ANY><!ELEMENT c (#PCDATA)>"
+        )
+        assert dtd.elements["a"] == Empty()
+        assert dtd.elements["b"] == Any()
+        assert dtd.elements["c"] == Mixed(names=())
+
+    def test_mixed_with_names(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | strong)*>")
+        assert dtd.elements["p"] == Mixed(names=("em", "strong"))
+
+    def test_mixed_without_star_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT p (#PCDATA | em)>")
+
+    def test_attlist(self):
+        dtd = parse_dtd(PROTEIN_STYLE)
+        attributes = {a.name: a for a in dtd.attributes["xref"]}
+        assert attributes["db"].attribute_type == "NMTOKEN"
+        assert attributes["db"].default == "#REQUIRED"
+        assert attributes["key"].default == "#IMPLIED"
+
+    def test_attlist_enumeration_and_fixed(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            '<!ATTLIST a kind (x | y) "x" version CDATA #FIXED "1.0">'
+        )
+        attributes = {a.name: a for a in dtd.attributes["a"]}
+        assert attributes["kind"].attribute_type == "(x|y)"
+        assert attributes["kind"].default == '"x"'
+        assert attributes["version"].default == '#FIXED "1.0"'
+
+    def test_comments_ignored(self):
+        dtd = parse_dtd("<!-- c --><!ELEMENT a EMPTY><!-- d -->")
+        assert "a" in dtd.elements
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<!ELEMENT a>",
+            "<!ELEMENT a (b",
+            "<!ELEMENT a (b|)>",
+            "<!-- unterminated",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(bad)
+
+
+class TestRoundTrip:
+    def test_render_parse_round_trip(self):
+        dtd = parse_dtd(PROTEIN_STYLE)
+        rendered = dtd.render()
+        reparsed = parse_dtd(rendered)
+        assert reparsed.elements == dtd.elements
+        assert reparsed.attributes == dtd.attributes
+
+    def test_render_puts_start_first(self):
+        dtd = parse_dtd("<!ELEMENT z EMPTY><!ELEMENT a (z)>")
+        dtd.start = "a"
+        assert dtd.render().startswith("<!ELEMENT a")
+
+    def test_content_regex_helper(self):
+        dtd = parse_dtd("<!ELEMENT a (b,c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        assert dtd.content_regex("a") == parse_regex("b c")
+        assert dtd.content_regex("b") is None
+        assert dtd.content_regex("missing") is None

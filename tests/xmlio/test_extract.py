@@ -1,0 +1,55 @@
+"""Evidence extraction from parsed corpora."""
+
+from repro.xmlio.extract import child_sequences, extract_evidence
+from repro.xmlio.parser import parse_document
+
+
+def docs(*texts):
+    return [parse_document(text) for text in texts]
+
+
+class TestChildSequences:
+    def test_sequences_in_document_order(self):
+        corpus = docs("<r><a/><b/><a/></r>", "<r><b/></r>")
+        assert child_sequences(corpus, "r") == [("a", "b", "a"), ("b",)]
+
+    def test_nested_occurrences_collected(self):
+        corpus = docs("<r><a><r><b/></r></a></r>")
+        assert child_sequences(corpus, "r") == [("a",), ("b",)]
+
+
+class TestEvidence:
+    def test_occurrences_and_sequences(self):
+        corpus = docs("<r><a/><a/></r>", "<r/>")
+        evidence = extract_evidence(corpus)
+        assert evidence.elements["r"].occurrences == 2
+        assert evidence.elements["r"].child_sequences == [("a", "a"), ()]
+        assert evidence.elements["a"].occurrences == 2
+
+    def test_text_detection(self):
+        corpus = docs("<r><a>text</a><b>  </b></r>")
+        evidence = extract_evidence(corpus)
+        assert evidence.elements["a"].has_text
+        assert not evidence.elements["b"].has_text  # whitespace only
+
+    def test_attribute_statistics(self):
+        corpus = docs('<r><a x="1"/><a x="2" y="z"/></r>')
+        element = extract_evidence(corpus).elements["a"]
+        assert element.attribute_presence == {"x": 2, "y": 1}
+        assert element.attribute_values["x"] == ["1", "2"]
+
+    def test_majority_root(self):
+        corpus = docs("<r/>", "<r/>", "<other/>")
+        assert extract_evidence(corpus).majority_root() == "r"
+
+    def test_empty_corpus(self):
+        evidence = extract_evidence([])
+        assert evidence.majority_root() is None
+        assert evidence.samples() == {}
+
+    def test_text_values_collected_for_sniffing(self):
+        corpus = docs("<r><y>1999</y><y>2006</y></r>")
+        assert extract_evidence(corpus).elements["y"].text_values == [
+            "1999",
+            "2006",
+        ]

@@ -1,0 +1,100 @@
+"""XML parser: features and strictness."""
+
+import pytest
+
+from repro.xmlio.parser import XmlSyntaxError, parse_document
+
+
+class TestBasics:
+    def test_minimal_document(self):
+        document = parse_document("<root/>")
+        assert document.root.name == "root"
+        assert not document.root.children
+
+    def test_nested_elements_preserve_order(self):
+        document = parse_document("<r><a/><b/><a/></r>")
+        assert document.root.child_names() == ("a", "b", "a")
+
+    def test_attributes(self):
+        document = parse_document(
+            """<r id="1" name='two &amp; three'/>"""
+        )
+        assert document.root.attributes == {"id": "1", "name": "two & three"}
+
+    def test_text_content(self):
+        document = parse_document("<r>hello <b>bold</b> world</r>")
+        assert document.root.text() == "hello  world"
+        assert document.root.children[0].text() == "bold"
+
+    def test_xml_declaration_and_comments(self):
+        document = parse_document(
+            '<?xml version="1.0"?><!-- hi --><r/><!-- bye -->'
+        )
+        assert document.root.name == "r"
+
+    def test_processing_instructions_skipped(self):
+        document = parse_document("<r><?php echo; ?><a/></r>")
+        assert document.root.child_names() == ("a",)
+
+    def test_cdata(self):
+        document = parse_document("<r><![CDATA[<not> &parsed;]]></r>")
+        assert document.root.text() == "<not> &parsed;"
+
+    def test_entity_references(self):
+        document = parse_document("<r>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</r>")
+        assert document.root.text() == "<>&\"'AB"
+
+    def test_unknown_entities_kept_verbatim(self):
+        document = parse_document("<r>&nbsp;</r>")
+        assert document.root.text() == "&nbsp;"
+
+    def test_namespace_prefixes_are_opaque_names(self):
+        document = parse_document("<x:r xmlns:x='urn:x'><x:a/></x:r>")
+        assert document.root.name == "x:r"
+        assert document.root.child_names() == ("x:a",)
+
+
+class TestDoctype:
+    def test_doctype_name_captured(self):
+        document = parse_document("<!DOCTYPE r><r/>")
+        assert document.doctype_name == "r"
+        assert document.internal_subset is None
+
+    def test_internal_subset_captured(self):
+        document = parse_document(
+            "<!DOCTYPE r [<!ELEMENT r (a)><!ELEMENT a EMPTY>]><r><a/></r>"
+        )
+        assert "<!ELEMENT r (a)>" in document.internal_subset
+
+    def test_system_identifier_skipped(self):
+        document = parse_document(
+            '<!DOCTYPE r SYSTEM "r.dtd"><r/>'
+        )
+        assert document.doctype_name == "r"
+
+
+class TestStrictness:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<r>",
+            "<r></s>",
+            "<r><a></r></a>",
+            "<r",
+            "<r a=1/>",
+            "<r a='1' a='2'/>",
+            "<r/><r/>",
+            "text only",
+            "<r>&unterminated</r>",
+            "<!DOCTYPE r <r/>",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            parse_document(bad)
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(XmlSyntaxError) as info:
+            parse_document("<r>\n  <a></b>\n</r>")
+        assert info.value.line == 2

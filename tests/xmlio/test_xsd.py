@@ -1,0 +1,66 @@
+"""XSD generation (Section 9)."""
+
+from repro.xmlio.dtd import parse_dtd
+from repro.xmlio.xsd import dtd_to_xsd
+
+
+def test_structure_and_occurs():
+    dtd = parse_dtd(
+        "<!ELEMENT r (a, b?, c+, (d|e)*)>"
+        "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        "<!ELEMENT d EMPTY><!ELEMENT e EMPTY>"
+    )
+    xsd = dtd_to_xsd(dtd)
+    assert '<xs:element ref="a"/>' in xsd
+    assert '<xs:element ref="b" minOccurs="0"/>' in xsd
+    assert '<xs:element ref="c" maxOccurs="unbounded"/>' in xsd
+    assert '<xs:choice minOccurs="0" maxOccurs="unbounded">' in xsd
+
+
+def test_numerical_predicates_become_occurs():
+    """The paper's minOccurs/maxOccurs rendering of a=2 b>=2."""
+    dtd = parse_dtd("<!ELEMENT r (a{2,2}, b{2,})><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+    xsd = dtd_to_xsd(dtd)
+    assert '<xs:element ref="a" minOccurs="2" maxOccurs="2"/>' in xsd
+    assert '<xs:element ref="b" minOccurs="2" maxOccurs="unbounded"/>' in xsd
+
+
+def test_text_types_applied():
+    dtd = parse_dtd("<!ELEMENT r (y)><!ELEMENT y (#PCDATA)>")
+    xsd = dtd_to_xsd(dtd, text_types={"y": "xs:integer"})
+    assert '<xs:element name="y" type="xs:integer"/>' in xsd
+
+
+def test_mixed_content():
+    dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>")
+    xsd = dtd_to_xsd(dtd)
+    assert '<xs:complexType mixed="true">' in xsd
+    assert '<xs:element ref="em"/>' in xsd
+
+
+def test_attributes():
+    dtd = parse_dtd(
+        "<!ELEMENT a EMPTY><!ATTLIST a id NMTOKEN #REQUIRED note CDATA #IMPLIED>"
+    )
+    xsd = dtd_to_xsd(dtd)
+    assert '<xs:attribute name="id" type="xs:NMTOKEN" use="required"/>' in xsd
+    assert '<xs:attribute name="note" type="xs:string"/>' in xsd
+
+
+def test_single_particle_wrapped_in_sequence():
+    dtd = parse_dtd("<!ELEMENT r (a+)><!ELEMENT a EMPTY>")
+    xsd = dtd_to_xsd(dtd)
+    assert "<xs:sequence>" in xsd
+
+
+def test_target_namespace():
+    dtd = parse_dtd("<!ELEMENT a EMPTY>")
+    xsd = dtd_to_xsd(dtd, target_namespace="urn:example")
+    assert 'targetNamespace="urn:example"' in xsd
+
+
+def test_start_element_first():
+    dtd = parse_dtd("<!ELEMENT z EMPTY><!ELEMENT a (z)>")
+    dtd.start = "a"
+    xsd = dtd_to_xsd(dtd)
+    assert xsd.index('name="a"') < xsd.index('name="z"')
