@@ -48,6 +48,7 @@ from .regex import (
     to_dtd_syntax,
     to_paper_syntax,
 )
+from .runtime import infer_parallel
 from .xmlio import (
     Document,
     Dtd,
@@ -74,6 +75,7 @@ __all__ = [
     "idtd_from_soa",
     "infer_chare",
     "infer_dtd",
+    "infer_parallel",
     "infer_sore",
     "is_chare",
     "is_deterministic",

@@ -72,6 +72,21 @@ class SOA:
             accepts_empty=self.accepts_empty,
         )
 
+    def merge(self, other: "SOA") -> None:
+        """Fold ``other`` into this SOA in place (component-wise union).
+
+        The ``(I, F, S)`` triple of a 2T-INF automaton is a union over
+        the sample's words, so merging the triples of two disjoint
+        sub-samples yields exactly the automaton of their union: merge
+        is associative and commutative, which is what makes SOA states
+        shard-safe for map-reduce inference.
+        """
+        self.symbols |= other.symbols
+        self.initial |= other.initial
+        self.final |= other.final
+        self.edges |= other.edges
+        self.accepts_empty = self.accepts_empty or other.accepts_empty
+
     def successors(self, symbol: str) -> set[str]:
         return {b for (a, b) in self.edges if a == symbol}
 

@@ -9,6 +9,11 @@ Subcommands:
   one word per argument), handy for experimentation;
 * ``sample -d DTD -o DIR`` — generate random XML documents conforming
   to a DTD (the ToXgene-substitute as a tool).
+
+Exit codes are uniform across subcommands: ``0`` success, ``1`` usage
+or input error (bad flags, missing files, malformed XML/DTD — and, for
+``validate``/``diff``, "the documents/schemas disagree"), ``2``
+internal error (a bug in the inference engine, never the user's data).
 """
 
 from __future__ import annotations
@@ -22,28 +27,54 @@ from .core.idtd import idtd
 from .core.inference import DTDInferencer
 from .regex.printer import to_dtd_syntax, to_paper_syntax
 from .xmlio.dtd import parse_dtd
-from .xmlio.extract import extract_evidence
+from .xmlio.extract import WordBag, extract_evidence
 from .xmlio.parser import parse_file
 from .xmlio.validate import validate
 from .xmlio.xsd import dtd_to_xsd
 
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_INTERNAL = 2
+
+
+class _UsageError(ValueError):
+    """An input/usage problem detected inside a subcommand handler."""
+
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    documents = [parse_file(path) for path in args.files]
+    streaming = args.streaming or args.jobs is not None
+    if streaming and args.numeric:
+        raise _UsageError(
+            "--numeric needs the full sample: it cannot be combined with "
+            "--streaming/--jobs (use the batch path)"
+        )
+    if streaming and args.support_threshold > 0:
+        raise _UsageError(
+            "--support-threshold rereads the sample: it cannot be combined "
+            "with --streaming/--jobs (use the batch path)"
+        )
     inferencer = DTDInferencer(
         method=args.method,
         numeric=args.numeric,
         infer_attributes=not args.no_attributes,
     )
-    evidence = extract_evidence(documents)
-    if args.support_threshold > 0:
-        _apply_support_threshold(evidence, args.support_threshold)
-    dtd = inferencer.infer_from_evidence(evidence)
+    if streaming:
+        from .runtime.parallel import parallel_evidence
+
+        jobs = args.jobs if args.jobs is not None else 1
+        evidence = parallel_evidence(args.files, jobs=jobs)
+        dtd = inferencer.infer_from_streaming(evidence)
+    else:
+        documents = [parse_file(path) for path in args.files]
+        evidence = extract_evidence(documents)
+        if args.support_threshold > 0:
+            _apply_support_threshold(evidence, args.support_threshold)
+        dtd = inferencer.infer_from_evidence(evidence)
     if args.format == "dtd":
         sys.stdout.write(dtd.render())
     else:
         sys.stdout.write(dtd_to_xsd(dtd, text_types=inferencer.report.text_types))
-    return 0
+    return EXIT_OK
 
 
 def _apply_support_threshold(evidence, threshold: int) -> None:
@@ -51,9 +82,9 @@ def _apply_support_threshold(evidence, threshold: int) -> None:
     fewer than ``threshold`` parent sequences, corpus-wide."""
     support: dict[str, int] = {}
     for element in evidence.elements.values():
-        for sequence in element.child_sequences:
+        for sequence, count in element.child_sequences.distinct():
             for name in set(sequence):
-                support[name] = support.get(name, 0) + 1
+                support[name] = support.get(name, 0) + count
     noisy = {
         name
         for name, count in support.items()
@@ -62,10 +93,12 @@ def _apply_support_threshold(evidence, threshold: int) -> None:
     if not noisy:
         return
     for element in evidence.elements.values():
-        element.child_sequences = [
-            tuple(name for name in sequence if name not in noisy)
-            for sequence in element.child_sequences
-        ]
+        filtered = WordBag()
+        for sequence, count in element.child_sequences.distinct():
+            filtered.add(
+                tuple(name for name in sequence if name not in noisy), count
+            )
+        element.child_sequences = filtered
     for name in noisy:
         evidence.elements.pop(name, None)
 
@@ -114,10 +147,9 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         with open(args.new, encoding="utf-8") as handle:
             new = parse_dtd(handle.read())
     else:
+        if not args.files:
+            raise _UsageError("diff: need --new DTD or XML files to infer one from")
         documents = [parse_file(path) for path in args.files]
-        if not documents:
-            print("diff: need --new DTD or XML files to infer one from")
-            return 2
         new = DTDInferencer(method=args.method).infer(documents)
     interesting = [
         entry for entry in diff_dtds(old, new) if entry.relation != "equal"
@@ -139,8 +171,27 @@ def _cmd_expr(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ArgumentParser(argparse.ArgumentParser):
+    """argparse exits 2 on bad usage; here 2 is reserved for internal
+    errors, so usage problems exit 1 like every other input error."""
+
+    def error(self, message: str) -> None:  # type: ignore[override]
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_USAGE, f"{self.prog}: error: {message}\n")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _ArgumentParser(
         prog="repro-infer",
         description="Infer concise DTDs from XML data (iDTD / CRX, VLDB 2006).",
     )
@@ -172,6 +223,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="noise handling: ignore element names occurring in fewer "
         "than N parent sequences (Section 9)",
+    )
+    infer.add_argument(
+        "--streaming",
+        action="store_true",
+        help="fold documents directly into learner states instead of "
+        "materializing child sequences (constant memory in corpus size)",
+    )
+    infer.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard the corpus across N worker processes and merge the "
+        "learner states (map-reduce; implies --streaming)",
     )
     infer.set_defaults(handler=_cmd_infer)
 
@@ -225,7 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (KeyboardInterrupt, BrokenPipeError, SystemExit):
+        raise
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        # Covers _UsageError, XmlSyntaxError, DtdSyntaxError and plain
+        # ValueErrors ("cannot infer from empty content only"): all are
+        # problems with the user's input, never with the engine.
+        print(f"repro-infer: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:
+        print(
+            f"repro-infer: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

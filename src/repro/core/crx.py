@@ -76,15 +76,41 @@ class CrxState:
 
     def add(self, word: Word) -> None:
         """Fold one word (a sequence of element names) into the state."""
-        self.word_count += 1
+        self.add_counted(word, 1)
+
+    def add_counted(self, word: Word, count: int) -> None:
+        """Fold ``count`` occurrences of ``word`` in at once.
+
+        CRX only ever looks at the arrow relation (multiplicity-blind)
+        and the per-word occurrence profiles (a multiset), so a
+        deduplicated sample with multiplicities carries exactly the
+        evidence of the expanded one.
+        """
+        if count <= 0:
+            return
+        self.word_count += count
         counts = Counter(word)
         self.alphabet.update(counts)
         self.arrows.update(zip(word, word[1:]))
-        self.profiles[frozenset(counts.items())] += 1
+        self.profiles[frozenset(counts.items())] += count
 
     def add_all(self, words: Iterable[Word]) -> None:
         for word in words:
             self.add(word)
+
+    def merge(self, other: "CrxState") -> None:
+        """Fold another state into this one in place.
+
+        Everything CRX retains is a union (arrows, alphabet) or a
+        multiset sum (profiles, word count), so states built from
+        disjoint corpus shards merge associatively and commutatively
+        into exactly the state of the combined sample — the map-reduce
+        property promised by Section 9.
+        """
+        self.arrows |= other.arrows
+        self.alphabet |= other.alphabet
+        self.profiles.update(other.profiles)
+        self.word_count += other.word_count
 
     # -- Algorithm 3 -----------------------------------------------------------
 

@@ -27,9 +27,16 @@ from ..regex.ast import Opt, Regex
 from ..regex.normalize import normalize
 from ..xmlio.datatypes import sniff_type
 from ..xmlio.dtd import AttributeDef, Children, Dtd, Empty, Mixed
-from ..xmlio.extract import CorpusEvidence, ElementEvidence, extract_evidence
+from ..xmlio.extract import (
+    CorpusEvidence,
+    ElementEvidence,
+    StreamingElementEvidence,
+    StreamingEvidence,
+    WordBag,
+    extract_evidence,
+)
 from ..xmlio.tree import Document
-from .crx import crx
+from .crx import CrxState
 from .idtd import idtd
 from .numeric import annotate_numeric
 
@@ -75,29 +82,44 @@ class DTDInferencer:
 
     # -- learner selection ---------------------------------------------------
 
-    def _learn_regex(self, words: Sequence[tuple[str, ...]]) -> tuple[Regex, str]:
-        nonempty = [word for word in words if word]
-        method = self.method
-        if method == "auto":
-            method = "crx" if len(nonempty) < self.sparse_threshold else "idtd"
-        regex = crx(words) if method == "crx" else idtd(words)
+    def _pick_method(self, nonempty_count: int) -> str:
+        if self.method == "auto":
+            return "crx" if nonempty_count < self.sparse_threshold else "idtd"
+        return self.method
+
+    def _learn_regex(
+        self, words: WordBag | Sequence[tuple[str, ...]]
+    ) -> tuple[Regex, str]:
+        sample = words if isinstance(words, WordBag) else WordBag(words)
+        method = self._pick_method(sample.nonempty_total)
+        # Both learners are insensitive to word order and (for their
+        # structural part) to multiplicities, so learning runs over the
+        # distinct words only — multiplicities enter CRX through
+        # ``add_counted`` and never matter to the SOA triple.
+        if method == "crx":
+            state = CrxState()
+            for word, count in sample.distinct():
+                state.add_counted(word, count)
+            regex = state.infer()
+        else:
+            regex = idtd(sample.distinct_words())
         if self.numeric:
-            regex = annotate_numeric(regex, words)
+            regex = annotate_numeric(regex, sample.distinct_words())
         return regex, method
 
     # -- content model per element --------------------------------------------
 
+    def _wrap_optional(self, regex: Regex, saw_empty: bool) -> Regex:
+        if saw_empty and not regex.nullable():
+            return normalize(Opt(regex))
+        return regex
+
     def _content_model(self, evidence: ElementEvidence):
-        has_children = any(evidence.child_sequences) and any(
-            sequence for sequence in evidence.child_sequences
-        )
+        sample = evidence.child_sequences
+        has_children = sample.nonempty_total > 0
         if evidence.has_text and has_children:
             names = sorted(
-                {
-                    name
-                    for sequence in evidence.child_sequences
-                    for name in sequence
-                }
+                {name for word, _ in sample.distinct() for name in word}
             )
             self.report.method_used[evidence.name] = "mixed"
             return Mixed(names=tuple(names))
@@ -110,14 +132,36 @@ class DTDInferencer:
         if not has_children:
             self.report.method_used[evidence.name] = "empty"
             return Empty()
-        regex, method = self._learn_regex(evidence.child_sequences)
-        if any(not sequence for sequence in evidence.child_sequences):
-            if not regex.nullable():
-                regex = normalize(Opt(regex))
+        regex, method = self._learn_regex(sample)
+        regex = self._wrap_optional(regex, sample.has_empty())
         self.report.method_used[evidence.name] = method
         return Children(regex=regex)
 
-    def _attlist(self, evidence: ElementEvidence) -> list[AttributeDef]:
+    def _content_model_streaming(self, evidence: StreamingElementEvidence):
+        has_children = evidence.nonempty_count > 0
+        if evidence.has_text and has_children:
+            self.report.method_used[evidence.name] = "mixed"
+            return Mixed(names=tuple(sorted(evidence.child_alphabet)))
+        if evidence.has_text:
+            self.report.method_used[evidence.name] = "pcdata"
+            self.report.text_types[evidence.name] = sniff_type(
+                evidence.text_values
+            )
+            return Mixed(names=())
+        if not has_children:
+            self.report.method_used[evidence.name] = "empty"
+            return Empty()
+        method = self._pick_method(evidence.nonempty_count)
+        regex = (
+            evidence.crx.infer() if method == "crx" else evidence.soa.infer()
+        )
+        regex = self._wrap_optional(regex, evidence.empty_count > 0)
+        self.report.method_used[evidence.name] = method
+        return Children(regex=regex)
+
+    def _attlist(
+        self, evidence: ElementEvidence | StreamingElementEvidence
+    ) -> list[AttributeDef]:
         definitions: list[AttributeDef] = []
         for attribute in sorted(evidence.attribute_presence):
             always = (
@@ -143,6 +187,28 @@ class DTDInferencer:
         for name in sorted(evidence.elements):
             element_evidence = evidence.elements[name]
             dtd.elements[name] = self._content_model(element_evidence)
+            if self.infer_attributes and element_evidence.attribute_presence:
+                dtd.attributes[name] = self._attlist(element_evidence)
+        return dtd
+
+    def infer_from_streaming(self, evidence: StreamingEvidence) -> Dtd:
+        """Infer a DTD from streamed (possibly shard-merged) evidence.
+
+        Produces exactly the DTD the batch path produces on the same
+        corpus: the learner states fold the same sample and both
+        learners are order- and sharding-insensitive.  Numerical
+        predicates are the one exception — they need the full sample,
+        which streaming evidence deliberately does not retain.
+        """
+        if self.numeric:
+            raise ValueError(
+                "numerical predicates need the full child-sequence sample; "
+                "use the batch path (infer_from_evidence) with numeric=True"
+            )
+        dtd = Dtd(start=evidence.majority_root())
+        for name in sorted(evidence.elements):
+            element_evidence = evidence.elements[name]
+            dtd.elements[name] = self._content_model_streaming(element_evidence)
             if self.infer_attributes and element_evidence.attribute_presence:
                 dtd.attributes[name] = self._attlist(element_evidence)
         return dtd

@@ -71,6 +71,34 @@ class IncrementalSOA:
             changed = self.add(word) or changed
         return changed
 
+    def merge(self, other: "IncrementalSOA") -> bool:
+        """Fold another learner (built from a disjoint shard) in.
+
+        Returns True when the other learner carried new evidence.  The
+        SOA triple is a union over words, so merge order never matters:
+        learners built per shard combine into exactly the learner of
+        the whole sample (map-reduce associativity).
+        """
+        before = (
+            len(self.soa.symbols),
+            len(self.soa.initial),
+            len(self.soa.final),
+            len(self.soa.edges),
+            self.soa.accepts_empty,
+        )
+        self.soa.merge(other.soa)
+        after = (
+            len(self.soa.symbols),
+            len(self.soa.initial),
+            len(self.soa.final),
+            len(self.soa.edges),
+            self.soa.accepts_empty,
+        )
+        if before != after:
+            self._cached = None
+            return True
+        return False
+
     def infer(self) -> Regex:
         """The iDTD expression for all data seen so far (cached)."""
         if self._cached is None:
@@ -122,6 +150,18 @@ class IncrementalCRX:
         for word in words:
             changed = self.add(word) or changed
         return changed
+
+    def merge(self, other: "IncrementalCRX") -> None:
+        """Fold another learner (built from a disjoint shard) in.
+
+        Arrow relation and occurrence profiles merge as union and
+        multiset sum, so shard-local learners combine into exactly the
+        learner of the whole sample.  The cache is dropped
+        unconditionally: profile multiplicities always change on merge
+        and recomputing the summaries costs more than re-inferring.
+        """
+        self.state.merge(other.state)
+        self._invalidate()
 
     def infer(self) -> Regex:
         if self._cached is None:

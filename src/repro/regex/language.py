@@ -101,8 +101,13 @@ def enumerate_words(
 
     Words are produced in shortlex order (shortest first, symbols in
     sorted order), which makes the output deterministic — handy as a
-    brute-force oracle in tests.  ``limit`` caps the number of words.
+    brute-force oracle in tests.  ``limit`` caps the number of words
+    *before* anything is yielded: ``limit=0`` yields nothing,
+    ``limit=1`` yields exactly the shortest word, ``limit=None`` (the
+    default) enumerates everything up to ``max_length``.
     """
+    if limit is not None and limit <= 0:
+        return
     automaton = _automaton(regex)
     alphabet = sorted(set(automaton.labels))
     produced = 0

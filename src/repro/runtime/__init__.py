@@ -1,0 +1,22 @@
+"""Execution backends: sharded, data-parallel corpus processing.
+
+* :func:`infer_parallel` / :func:`parallel_evidence` — map-reduce DTD
+  inference: shard the corpus, extract+learn per shard in worker
+  processes, merge the (tiny) learner states, finalize once.
+"""
+
+from .parallel import (
+    extract_from_paths,
+    infer_parallel,
+    merge_evidence,
+    parallel_evidence,
+    shard_paths,
+)
+
+__all__ = [
+    "extract_from_paths",
+    "infer_parallel",
+    "merge_evidence",
+    "parallel_evidence",
+    "shard_paths",
+]

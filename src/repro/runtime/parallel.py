@@ -1,0 +1,127 @@
+"""Map-reduce DTD inference over corpus shards (Section 9, scaled out).
+
+Both learners keep internal state that is tiny compared to the corpus
+(the SOA triple for iDTD; the arrow relation plus occurrence profiles
+for CRX) and that state merges associatively.  That makes inference
+embarrassingly data-parallel:
+
+* **map** — each worker parses its shard of document *paths* and folds
+  them into a :class:`~repro.xmlio.extract.StreamingEvidence` (constant
+  memory in shard size; only file paths cross the process boundary on
+  the way in, only learner states on the way out);
+* **reduce** — shard states merge in shard order, which reproduces the
+  batch evidence exactly (including the bounded text/attribute
+  reservoirs, because shards are contiguous chunks of the corpus);
+* **finalize** — one :class:`~repro.core.inference.DTDInferencer` pass
+  over the merged states.
+
+The result is byte-identical to batch inference on the same corpus —
+property-tested in ``tests/runtime/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..core.inference import DTDInferencer, Method
+from ..xmlio.dtd import Dtd
+from ..xmlio.extract import StreamingEvidence
+from ..xmlio.parser import parse_files
+
+Backend = str  # "process" | "thread" | "serial"
+
+
+def shard_paths(paths: Sequence[str], shards: int) -> list[list[str]]:
+    """Split ``paths`` into at most ``shards`` contiguous chunks.
+
+    Chunks are contiguous (not round-robin) and returned in corpus
+    order so that merging shard evidence left-to-right visits values in
+    the same order as a sequential pass — the property that keeps the
+    capped text/attribute reservoirs identical to the batch path.
+    """
+    paths = list(paths)
+    if not paths:
+        return []
+    shards = max(1, min(shards, len(paths)))
+    base, extra = divmod(len(paths), shards)
+    chunks: list[list[str]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(paths[start : start + size])
+        start += size
+    return chunks
+
+
+def extract_from_paths(paths: Iterable[str]) -> StreamingEvidence:
+    """The map step: parse each file and fold it into streaming state.
+
+    Documents are parsed one at a time and released immediately; the
+    worker's footprint is one document plus the learner states.
+    """
+    evidence = StreamingEvidence()
+    for document in parse_files(paths):
+        evidence.add_document(document)
+    return evidence
+
+
+def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:
+    """The reduce step: fold shard evidence together, left to right."""
+    merged = StreamingEvidence()
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+def parallel_evidence(
+    paths: Sequence[str],
+    jobs: int | None = None,
+    backend: Backend = "process",
+    executor: Executor | None = None,
+) -> StreamingEvidence:
+    """Extract streaming evidence from ``paths`` using ``jobs`` workers.
+
+    ``jobs=None`` uses the CPU count; ``jobs<=1`` (or a single file, or
+    ``backend="serial"``) runs in-process without an executor.  A
+    caller-supplied ``executor`` overrides backend selection — useful
+    for reusing a warm pool across corpora.
+    """
+    paths = list(paths)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if executor is None and (
+        jobs <= 1 or len(paths) <= 1 or backend == "serial"
+    ):
+        return extract_from_paths(paths)
+    shards = shard_paths(paths, jobs)
+    if executor is not None:
+        return merge_evidence(executor.map(extract_from_paths, shards))
+    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=len(shards)) as pool:
+        # Executor.map preserves input order, so the reduce sees shards
+        # in corpus order regardless of completion order.
+        return merge_evidence(pool.map(extract_from_paths, shards))
+
+
+def infer_parallel(
+    paths: Sequence[str],
+    jobs: int | None = None,
+    method: Method = "auto",
+    backend: Backend = "process",
+    executor: Executor | None = None,
+    inferencer: DTDInferencer | None = None,
+) -> Dtd:
+    """Sharded map-reduce DTD inference over XML files.
+
+    Produces the same DTD as ``DTDInferencer.infer`` over the parsed
+    corpus, with peak memory bounded by learner-state size and
+    wall-clock divided across ``jobs`` workers.
+    """
+    if inferencer is None:
+        inferencer = DTDInferencer(method=method)
+    evidence = parallel_evidence(
+        paths, jobs=jobs, backend=backend, executor=executor
+    )
+    return inferencer.infer_from_streaming(evidence)

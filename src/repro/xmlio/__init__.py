@@ -7,7 +7,9 @@ Everything is implemented from scratch (no stdlib ``xml`` dependency):
 * :class:`Dtd` with :func:`parse_dtd` — content models (EMPTY / ANY /
   mixed / element content regexes) and ATTLISTs, parsing and printing;
 * :func:`extract_evidence` — child-sequence samples per element name,
-  the raw material of DTD inference;
+  the raw material of DTD inference; :func:`extract_streaming_evidence`
+  folds documents straight into learner states instead (Section 9,
+  constant memory, shard-mergeable);
 * :func:`validate` — DTD validation with per-violation reports;
 * :func:`dtd_to_xsd` and :func:`sniff_type` — Section 9's XSD
   generation with datatype heuristics.
@@ -29,8 +31,12 @@ from .dtd import (
 from .extract import (
     CorpusEvidence,
     ElementEvidence,
+    StreamingElementEvidence,
+    StreamingEvidence,
+    WordBag,
     child_sequences,
     extract_evidence,
+    extract_streaming_evidence,
 )
 from .parser import XmlSyntaxError, parse_document, parse_file
 from .tree import Document, Element
@@ -53,11 +59,15 @@ __all__ = [
     "ElementEvidence",
     "Empty",
     "Mixed",
+    "StreamingElementEvidence",
+    "StreamingEvidence",
     "Violation",
+    "WordBag",
     "XmlSyntaxError",
     "child_sequences",
     "dtd_to_xsd",
     "extract_evidence",
+    "extract_streaming_evidence",
     "is_valid",
     "parse_document",
     "parse_dtd",

@@ -18,6 +18,8 @@ is the job of :mod:`repro.learning.noise`.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from .tree import Document, Element
 
 _PREDEFINED = {
@@ -268,3 +270,14 @@ def parse_file(path: str) -> Document:
     """Parse an XML document from a file path (UTF-8)."""
     with open(path, encoding="utf-8") as handle:
         return parse_document(handle.read())
+
+
+def parse_files(paths: Iterable[str]) -> Iterator[Document]:
+    """Parse documents lazily, one at a time.
+
+    The streaming evidence path folds each document in and drops it, so
+    feeding it this generator keeps at most one parsed tree in memory
+    no matter how large the corpus is.
+    """
+    for path in paths:
+        yield parse_file(path)

@@ -44,10 +44,18 @@ class Element:
         return any(chunk.strip() for chunk in self.text_chunks)
 
     def iter(self) -> Iterator["Element"]:
-        """This element and all descendants, document order."""
-        yield self
-        for child in self.children:
-            yield from child.iter()
+        """This element and all descendants, document order.
+
+        Iterative on purpose: a recursive generator pays one Python
+        frame per tree level on *every* yield and caps usable document
+        depth at the interpreter recursion limit — both matter when
+        the streaming pipeline folds large corpora element by element.
+        """
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.children))
 
     def find_all(self, name: str) -> list["Element"]:
         return [element for element in self.iter() if element.name == name]

@@ -40,6 +40,88 @@ class TestInfer:
         assert "<!ELEMENT" in capsys.readouterr().out
 
 
+class TestStreamingInfer:
+    def test_streaming_output_identical_to_batch(self, corpus_files, capsys):
+        assert main(["infer", *corpus_files]) == 0
+        batch = capsys.readouterr().out
+        assert main(["infer", "--streaming", *corpus_files]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_parallel_output_identical_to_batch(self, corpus_files, capsys):
+        assert main(["infer", *corpus_files]) == 0
+        batch = capsys.readouterr().out
+        assert main(["infer", "--jobs", "2", *corpus_files]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_streaming_xsd_identical_to_batch(self, corpus_files, capsys):
+        assert main(["infer", "--format", "xsd", *corpus_files]) == 0
+        batch = capsys.readouterr().out
+        assert main(["infer", "--format", "xsd", "--jobs", "2", *corpus_files]) == 0
+        assert capsys.readouterr().out == batch
+
+    def test_streaming_rejects_numeric(self, corpus_files, capsys):
+        assert main(["infer", "--streaming", "--numeric", *corpus_files]) == 1
+        assert "--numeric" in capsys.readouterr().err
+
+    def test_streaming_rejects_support_threshold(self, corpus_files, capsys):
+        code = main(
+            ["infer", "--jobs", "2", "--support-threshold", "3", *corpus_files]
+        )
+        assert code == 1
+        assert "--support-threshold" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """0 = success, 1 = usage/input error, 2 = internal — never a traceback."""
+
+    def test_no_files_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer"])
+        assert excinfo.value.code == 1
+
+    def test_bad_jobs_is_usage_error(self, corpus_files, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer", "--jobs", "0", *corpus_files])
+        assert excinfo.value.code == 1
+
+    def test_nonexistent_input_path(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.xml")
+        assert main(["infer", missing]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "Traceback" not in err
+
+    def test_nonexistent_path_streaming(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.xml")
+        assert main(["infer", "--streaming", missing]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_xml(self, tmp_path, capsys):
+        path = tmp_path / "broken.xml"
+        path.write_text("<r><unclosed></r>", encoding="utf-8")
+        assert main(["infer", str(path)]) == 1
+        assert "mismatched end tag" in capsys.readouterr().err
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        assert main(["infer", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_dtd_for_validate(self, tmp_path, corpus_files, capsys):
+        missing = str(tmp_path / "nope.dtd")
+        assert main(["validate", "-d", missing, corpus_files[0]]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_single_document_with_nonrepeating_root(self, tmp_path, capsys):
+        path = tmp_path / "solo.xml"
+        path.write_text("<solo><a/><b/></solo>", encoding="utf-8")
+        for extra in ([], ["--streaming"], ["--method", "idtd"]):
+            assert main(["infer", *extra, str(path)]) == 0
+            assert "<!ELEMENT solo (a,b)>" in capsys.readouterr().out
+
+    def test_expr_empty_words_only(self, capsys):
+        assert main(["expr", ""]) == 1
+        assert "empty content" in capsys.readouterr().err
+
+
 class TestValidate:
     def test_valid_and_invalid(self, corpus_files, tmp_path, capsys):
         dtd_path = tmp_path / "schema.dtd"
@@ -137,10 +219,10 @@ class TestDiff:
         assert main(["diff", "--old", str(old), "--new", str(new)]) == 0
         assert "equivalent" in capsys.readouterr().out
 
-    def test_missing_inputs(self, tmp_path, capsys):
+    def test_missing_inputs_is_usage_error(self, tmp_path, capsys):
         old = tmp_path / "old.dtd"
         old.write_text("<!ELEMENT r (a)><!ELEMENT a EMPTY>")
-        assert main(["diff", "--old", str(old)]) == 2
+        assert main(["diff", "--old", str(old)]) == 1
 
 
 class TestExpr:

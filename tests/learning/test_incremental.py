@@ -2,10 +2,23 @@
 
 import random
 
-from repro.core.crx import crx
+from repro.core.crx import CrxState, crx
 from repro.core.idtd import idtd
 from repro.learning.incremental import IncrementalCRX, IncrementalSOA
 from repro.learning.tinf import tinf
+from repro.regex.language import language_equivalent
+
+
+def random_words(seed, alphabet, count, min_len=0, max_len=6):
+    """Random sample with empty words interleaved mid-stream."""
+    rng = random.Random(seed)
+    words = [
+        tuple(rng.choice(alphabet) for _ in range(rng.randint(min_len, max_len)))
+        for _ in range(count)
+    ]
+    if not any(words):
+        words.append(tuple(alphabet[:1]))
+    return words
 
 
 class TestIncrementalSOA:
@@ -86,3 +99,95 @@ class TestIncrementalCRX:
         for word in words:
             incremental.add(word)
         assert incremental.infer() == crx(words)
+
+
+class TestRandomizedEquivalence:
+    """Satellite: streamed, shard-merged and batch learners agree.
+
+    Every comparison is on the *language*, not just structural regex
+    equality, and every seed interleaves empty words mid-stream (the
+    Section 9 trickle setting where ε-content arrives between real
+    sequences)."""
+
+    def test_incremental_soa_equivalent_to_batch(self):
+        for seed in range(12):
+            words = random_words(seed, ["a", "b", "c"], 25)
+            incremental = IncrementalSOA()
+            incremental.add_all(words)
+            assert language_equivalent(incremental.infer(), idtd(words))
+
+    def test_incremental_crx_equivalent_to_batch(self):
+        for seed in range(12):
+            words = random_words(100 + seed, ["p", "q", "r", "s"], 25)
+            incremental = IncrementalCRX()
+            incremental.add_all(words)
+            assert language_equivalent(incremental.infer(), crx(words))
+
+    def test_merged_soa_shards_equivalent_to_batch(self):
+        for seed in range(12):
+            words = random_words(200 + seed, ["a", "b", "c", "d"], 30)
+            cut = len(words) // 3
+            shards = [words[:cut], words[cut : 2 * cut], words[2 * cut :]]
+            merged = IncrementalSOA()
+            for shard in shards:
+                part = IncrementalSOA()
+                part.add_all(shard)
+                merged.merge(part)
+            assert merged.soa == tinf(words)
+            assert language_equivalent(merged.infer(), idtd(words))
+
+    def test_merged_crx_shards_equivalent_to_batch(self):
+        for seed in range(12):
+            words = random_words(300 + seed, ["x", "y", "z"], 30)
+            cut = len(words) // 2
+            merged = IncrementalCRX()
+            for shard in (words[:cut], words[cut:]):
+                part = IncrementalCRX()
+                part.add_all(shard)
+                merged.merge(part)
+            assert merged.infer() == crx(words)
+            assert language_equivalent(merged.infer(), crx(words))
+
+    def test_merge_order_is_immaterial(self):
+        words = random_words(7, ["a", "b"], 20)
+        cut = len(words) // 2
+        forward, backward = IncrementalCRX(), IncrementalCRX()
+        first, second = IncrementalCRX(), IncrementalCRX()
+        first.add_all(words[:cut])
+        second.add_all(words[cut:])
+        forward.merge(first)
+        forward.merge(second)
+        backward.merge(second)
+        backward.merge(first)
+        assert forward.infer() == backward.infer()
+
+
+class TestMerge:
+    def test_soa_merge_reports_new_evidence(self):
+        left, right = IncrementalSOA(), IncrementalSOA()
+        left.add(("a", "b"))
+        right.add(("a", "b"))
+        assert not left.merge(right)  # same evidence: nothing new
+        right.add(("b", "c"))
+        assert left.merge(right)
+        assert left.soa.accepts(("a", "b", "c"))
+
+    def test_soa_merge_invalidates_cache_only_on_change(self):
+        left, right = IncrementalSOA(), IncrementalSOA()
+        left.add(("a",))
+        right.add(("a",))
+        cached = left.infer()
+        left.merge(right)
+        assert left.infer() is cached
+
+    def test_crx_state_counted_add_equals_repetition(self):
+        counted, repeated = CrxState(), CrxState()
+        counted.add_counted(("a", "b"), 5)
+        counted.add_counted((), 2)
+        for _ in range(5):
+            repeated.add(("a", "b"))
+        for _ in range(2):
+            repeated.add(())
+        assert counted.profiles == repeated.profiles
+        assert counted.word_count == repeated.word_count
+        assert counted.infer() == repeated.infer()

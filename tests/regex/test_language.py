@@ -48,6 +48,19 @@ class TestEnumeration:
         words = list(enumerate_words(parse_regex("a*"), 10, limit=3))
         assert words == [(), ("a",), ("a", "a")]
 
+    def test_limit_zero_yields_nothing(self):
+        assert list(enumerate_words(parse_regex("a*"), 10, limit=0)) == []
+        assert list(enumerate_words(parse_regex("a b?"), 5, limit=0)) == []
+
+    def test_limit_one_yields_exactly_shortest(self):
+        assert list(enumerate_words(parse_regex("a*"), 10, limit=1)) == [()]
+        assert list(enumerate_words(parse_regex("a b?"), 5, limit=1)) == [
+            ("a",)
+        ]
+
+    def test_negative_limit_yields_nothing(self):
+        assert list(enumerate_words(parse_regex("a*"), 10, limit=-1)) == []
+
     def test_enumeration_matches_brute_force(self):
         expression = parse_regex("a? (b + c)+")
         enumerated = set(enumerate_words(expression, 3))

@@ -1,0 +1,138 @@
+"""Map-reduce inference: streamed and sharded paths equal batch."""
+
+import random
+
+import pytest
+
+from repro.core.inference import DTDInferencer
+from repro.datagen.xmlgen import XmlGenerator, serialize
+from repro.runtime.parallel import (
+    extract_from_paths,
+    infer_parallel,
+    merge_evidence,
+    parallel_evidence,
+    shard_paths,
+)
+from repro.xmlio.dtd import parse_dtd
+from repro.xmlio.extract import extract_streaming_evidence
+from repro.xmlio.parser import parse_file
+
+DTD_SOURCES = [
+    "<!ELEMENT r (a+, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+    '<!ELEMENT r (x*, (y | z)+)><!ELEMENT x EMPTY>'
+    "<!ELEMENT y (#PCDATA)><!ELEMENT z (x?)>",
+    "<!ELEMENT r (s*)><!ELEMENT s (t, u?)>"
+    "<!ELEMENT t (#PCDATA)><!ELEMENT u EMPTY>",
+]
+
+
+def write_corpus(tmp_path, source, count, seed=3):
+    generator = XmlGenerator(parse_dtd(source), random.Random(seed))
+    paths = []
+    for index, document in enumerate(generator.corpus(count)):
+        path = tmp_path / f"doc{index:03d}.xml"
+        path.write_text(serialize(document), encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+def batch_dtd(paths, method="auto"):
+    inferencer = DTDInferencer(method=method)
+    return inferencer.infer([parse_file(path) for path in paths]).render()
+
+
+class TestShardPaths:
+    def test_contiguous_and_complete(self):
+        paths = [f"p{i}" for i in range(10)]
+        shards = shard_paths(paths, 3)
+        assert [p for shard in shards for p in shard] == paths
+        assert len(shards) == 3
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_more_shards_than_paths(self):
+        assert shard_paths(["a", "b"], 8) == [["a"], ["b"]]
+
+    def test_empty(self):
+        assert shard_paths([], 4) == []
+
+
+class TestStreamingEqualsBatch:
+    @pytest.mark.parametrize("source", DTD_SOURCES)
+    @pytest.mark.parametrize("method", ["auto", "idtd", "crx"])
+    def test_streamed_dtd_identical(self, tmp_path, source, method):
+        paths = write_corpus(tmp_path, source, 12)
+        evidence = extract_streaming_evidence(
+            parse_file(path) for path in paths
+        )
+        inferencer = DTDInferencer(method=method)
+        streamed = inferencer.infer_from_streaming(evidence).render()
+        assert streamed == batch_dtd(paths, method)
+
+    @pytest.mark.parametrize("source", DTD_SOURCES)
+    def test_shard_merge_identical(self, tmp_path, source):
+        paths = write_corpus(tmp_path, source, 14)
+        for shards in (2, 3, 5):
+            merged = merge_evidence(
+                extract_from_paths(shard)
+                for shard in shard_paths(paths, shards)
+            )
+            inferencer = DTDInferencer()
+            assert (
+                inferencer.infer_from_streaming(merged).render()
+                == batch_dtd(paths)
+            )
+
+    def test_randomized_shard_merge_language_equivalence(self, tmp_path):
+        """Property: any shard split yields the batch learner states."""
+        rng = random.Random(17)
+        paths = write_corpus(tmp_path, DTD_SOURCES[1], 20, seed=11)
+        reference = batch_dtd(paths)
+        for _ in range(6):
+            cut = sorted(rng.sample(range(1, len(paths)), 2))
+            shards = [
+                paths[: cut[0]],
+                paths[cut[0] : cut[1]],
+                paths[cut[1] :],
+            ]
+            merged = merge_evidence(
+                extract_from_paths(shard) for shard in shards if shard
+            )
+            result = DTDInferencer().infer_from_streaming(merged).render()
+            assert result == reference
+
+
+class TestParallelEvidence:
+    def test_serial_backend(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 8)
+        evidence = parallel_evidence(paths, jobs=4, backend="serial")
+        assert evidence.document_count == 8
+
+    def test_thread_backend_identical(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 9)
+        dtd = infer_parallel(paths, jobs=3, backend="thread")
+        assert dtd.render() == batch_dtd(paths)
+
+    def test_process_backend_identical(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[2], 10)
+        dtd = infer_parallel(paths, jobs=2)
+        assert dtd.render() == batch_dtd(paths)
+
+    def test_single_file(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 1)
+        dtd = infer_parallel(paths, jobs=4)
+        assert dtd.render() == batch_dtd(paths)
+
+    def test_methods_respected(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 8)
+        for method in ("idtd", "crx"):
+            dtd = infer_parallel(paths, jobs=2, backend="thread", method=method)
+            assert dtd.render() == batch_dtd(paths, method)
+
+    def test_numeric_rejected_on_streaming_path(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 4)
+        inferencer = DTDInferencer(numeric=True)
+        evidence = extract_streaming_evidence(
+            parse_file(path) for path in paths
+        )
+        with pytest.raises(ValueError, match="full child-sequence sample"):
+            inferencer.infer_from_streaming(evidence)

@@ -1,6 +1,12 @@
 """Evidence extraction from parsed corpora."""
 
-from repro.xmlio.extract import child_sequences, extract_evidence
+from repro.xmlio.extract import (
+    SAMPLE_CAP,
+    WordBag,
+    child_sequences,
+    extract_evidence,
+    extract_streaming_evidence,
+)
 from repro.xmlio.parser import parse_document
 
 
@@ -53,3 +59,89 @@ class TestEvidence:
             "1999",
             "2006",
         ]
+
+    def test_repeated_sequences_stored_deduplicated(self):
+        corpus = docs(*["<r><a/><a/></r>"] * 500)
+        bag = extract_evidence(corpus).elements["r"].child_sequences
+        assert len(bag.counts) == 1  # one distinct word...
+        assert bag.counts[("a", "a")] == 500  # ...with its multiplicity
+        assert len(bag) == 500
+        assert list(bag) == [("a", "a")] * 500
+
+    def test_merge_combines_shards(self):
+        left = extract_evidence(docs("<r><a/></r>", "<r><a/><b/></r>"))
+        right = extract_evidence(docs('<r x="1">t</r>', "<other/>"))
+        left.merge(right)
+        assert left.document_count == 4
+        assert left.elements["r"].occurrences == 3
+        assert left.elements["r"].child_sequences == [("a",), ("a", "b"), ()]
+        assert left.elements["r"].has_text
+        assert left.elements["r"].attribute_presence == {"x": 1}
+        assert left.majority_root() == "r"
+
+
+class TestWordBag:
+    def test_counts_and_iteration_order(self):
+        bag = WordBag([("a",), ("b",), ("a",)])
+        assert len(bag) == 3
+        assert bag.nonempty_total == 3
+        assert list(bag) == [("a",), ("a",), ("b",)]  # grouped, first-seen
+
+    def test_empty_word_tracking(self):
+        bag = WordBag([(), ("a",)])
+        assert bag.has_empty()
+        assert bag.nonempty_total == 1
+        assert WordBag([("a",)]).has_empty() is False
+
+    def test_equality_with_lists_is_multiset(self):
+        bag = WordBag([("a",), ("b",), ("a",)])
+        assert bag == [("a",), ("b",), ("a",)]
+        assert bag == [("b",), ("a",), ("a",)]
+        assert bag != [("a",), ("b",)]
+
+    def test_merge_sums_multiplicities(self):
+        left, right = WordBag([("a",)]), WordBag([("a",), ("b",)])
+        left.merge(right)
+        assert left.counts == {("a",): 2, ("b",): 1}
+        assert left.total == 3
+
+
+class TestStreamingEvidence:
+    def test_constant_size_in_occurrence_count(self):
+        corpus = docs(*["<r><a/><a/></r>"] * 300)
+        evidence = extract_streaming_evidence(corpus)
+        element = evidence.elements["r"]
+        assert element.occurrences == 300
+        assert element.nonempty_count == 300
+        # no per-occurrence storage: one SOA edge, one CRX profile
+        assert len(element.soa.soa.edges) == 1
+        assert len(element.crx.state.profiles) == 1
+
+    def test_counters_and_alphabet(self):
+        corpus = docs("<r><a/><b/></r>", "<r/>", "<r>text</r>")
+        element = extract_streaming_evidence(corpus).elements["r"]
+        assert element.nonempty_count == 1
+        assert element.empty_count == 2
+        assert element.has_text
+        assert element.child_alphabet == {"a", "b"}
+
+    def test_merge_matches_single_pass(self):
+        texts = ["<r><a/></r>", "<r><a/><b/></r>", '<r x="1"/>', "<other/>"]
+        whole = extract_streaming_evidence(docs(*texts))
+        left = extract_streaming_evidence(docs(*texts[:2]))
+        right = extract_streaming_evidence(docs(*texts[2:]))
+        left.merge(right)
+        assert left.document_count == whole.document_count
+        assert left.majority_root() == whole.majority_root()
+        for name in whole.elements:
+            one, two = left.elements[name], whole.elements[name]
+            assert one.occurrences == two.occurrences
+            assert one.soa.soa == two.soa.soa
+            assert one.crx.state.profiles == two.crx.state.profiles
+            assert one.attribute_presence == two.attribute_presence
+
+    def test_reservoirs_capped(self):
+        evidence = extract_streaming_evidence(
+            docs(*[f"<r><t>v{i}</t></r>" for i in range(SAMPLE_CAP + 5)])
+        )
+        assert len(evidence.elements["t"].text_values) == SAMPLE_CAP
