@@ -23,11 +23,12 @@ import resource
 
 import pytest
 
-from repro.core.inference import DTDInferencer
+from perf_record import update_bench_json
+from repro.api import InferenceConfig, infer
 from repro.datagen.xmlgen import XmlGenerator, serialize
 from repro.evaluation.tables import Table
 from repro.evaluation.timing import timed
-from repro.runtime.parallel import infer_parallel, parallel_evidence
+from repro.runtime.parallel import parallel_evidence
 from repro.xmlio.dtd import parse_dtd
 from repro.xmlio.extract import extract_evidence
 from repro.xmlio.parser import parse_file
@@ -60,15 +61,17 @@ def corpus_paths(tmp_path_factory, scale):
 
 
 def batch_render(paths: list[str]) -> str:
-    documents = [parse_file(path) for path in paths]
-    return DTDInferencer().infer(documents).render()
+    return infer(paths).render()
 
 
 def test_parallel_dtd_identical_to_batch(corpus_paths, benchmark):
     reference = batch_render(corpus_paths)
     for jobs in (1, 2, 4):
-        assert infer_parallel(corpus_paths, jobs=jobs).render() == reference
-    benchmark(lambda: infer_parallel(corpus_paths[:40], jobs=2))
+        sharded = infer(corpus_paths, config=InferenceConfig(jobs=jobs))
+        assert sharded.render() == reference
+    benchmark(
+        lambda: infer(corpus_paths[:40], config=InferenceConfig(jobs=2))
+    )
 
 
 def test_streaming_state_constant_in_corpus_size(corpus_paths):
@@ -106,15 +109,26 @@ def test_speedup_and_rss_report(corpus_paths, scale, benchmark):
         assert result.value == reference
         return result.seconds
 
+    def sharded_render(jobs: int) -> str:
+        return infer(corpus_paths, config=InferenceConfig(jobs=jobs)).render()
+
     batch_time = run("batch (materialized evidence)", lambda: batch_render(corpus_paths))
-    run("streaming, 1 process", lambda: infer_parallel(corpus_paths, jobs=1).render())
-    parallel_time = run(
-        "map-reduce, 4 processes",
-        lambda: infer_parallel(corpus_paths, jobs=4).render(),
-    )
+    streaming_time = run("streaming, 1 process", lambda: sharded_render(1))
+    parallel_time = run("map-reduce, 4 processes", lambda: sharded_render(4))
     speedup = batch_time / parallel_time if parallel_time else float("inf")
     table.add("speedup batch/4-jobs", f"{speedup:.2f}x", "", "")
     table.show()
+    update_bench_json(
+        "parallel",
+        {
+            "documents": len(corpus_paths),
+            "cpus": cpus,
+            "batch_seconds": batch_time,
+            "streaming_1_process_seconds": streaming_time,
+            "mapreduce_4_processes_seconds": parallel_time,
+            "speedup_batch_over_4_jobs": speedup,
+        },
+    )
     benchmark(lambda: parallel_evidence(corpus_paths[:30], jobs=1))
     if cpus >= 4:
         assert speedup > 1.3, (

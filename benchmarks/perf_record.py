@@ -1,0 +1,37 @@
+"""Shared writer for ``BENCH_phases.json`` (not a pytest module).
+
+Benchmark modules each own one section of the file; sections are
+merged read-modify-write so running a single module never clobbers
+another's numbers.  The file lives at the repo root, next to the other
+machine-readable benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Any
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_phases.json")
+
+
+def update_bench_json(section: str, payload: dict[str, Any], path: str = BENCH_JSON) -> None:
+    """Merge ``payload`` in as ``section``, preserving other sections."""
+    data: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[section] = payload
+    data["_meta"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "quick"),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

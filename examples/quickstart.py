@@ -5,12 +5,12 @@ Run:  python examples/quickstart.py
 
 from repro import (
     infer_chare,
-    infer_dtd,
     infer_sore,
     parse_document,
     to_paper_syntax,
     validate,
 )
+from repro.api import infer
 
 # --- 1. Learning an expression from child-name sequences -------------------
 #
@@ -41,9 +41,10 @@ documents = [
     ]
 ]
 
-dtd = infer_dtd(documents)
+result = infer(documents)
+dtd = result.dtd
 print("\nInferred DTD:")
-print(dtd.render())
+print(result.render())
 
 # --- 3. The inferred DTD validates the corpus it was learned from ----------
 

@@ -12,7 +12,8 @@ already accepts a sixth, structurally new reply.
 Run:  python examples/web_service_inference.py
 """
 
-from repro import DTDInferencer, matches, parse_document, to_paper_syntax
+from repro import matches, parse_document, to_paper_syntax
+from repro.api import InferenceConfig, infer
 from repro.xmlio import Children, validate
 
 REPLIES = [
@@ -26,10 +27,9 @@ REPLIES = [
 
 documents = [parse_document(text) for text in REPLIES]
 
-# sparse_threshold above the corpus size forces CRX, the sparse-regime
-# learner (method="auto" would pick it here anyway).
-inferencer = DTDInferencer(method="crx")
-dtd = inferencer.infer(documents)
+# method="crx" forces the sparse-regime learner (method="auto" would
+# pick it here anyway, since the corpus is tiny).
+dtd = infer(documents, config=InferenceConfig(method="crx")).dtd
 
 print("DTD inferred from 5 replies:")
 print(dtd.render())

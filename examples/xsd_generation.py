@@ -11,7 +11,7 @@ Run:  python examples/xsd_generation.py
 
 import random
 
-from repro import DTDInferencer, dtd_to_xsd
+from repro.api import InferenceConfig, infer
 from repro.datagen import XmlGenerator
 from repro.xmlio import parse_dtd
 
@@ -40,13 +40,12 @@ generator = XmlGenerator(
 )
 corpus = generator.corpus(60)
 
-inferencer = DTDInferencer(method="idtd", numeric=True)
-dtd = inferencer.infer(corpus)
+result = infer(corpus, config=InferenceConfig(method="idtd", numeric=True))
 
 print("inferred DTD (with numerical predicates):")
-print(dtd.render())
+print(result.render())
 
-print("sniffed datatypes:", inferencer.report.text_types)
+print("sniffed datatypes:", result.report.text_types)
 
 print("\ngenerated XSD:")
-print(dtd_to_xsd(dtd, text_types=inferencer.report.text_types))
+print(result.to_xsd())

@@ -9,16 +9,22 @@ and the full evaluation harness.
 
 Quickstart::
 
-    from repro import infer_sore, infer_chare, infer_dtd, parse_document
+    from repro import infer_sore, infer_chare
+    from repro.api import InferenceConfig, infer
 
     words = [["a", "b"], ["b"], ["a", "b", "b"]]
     print(infer_sore(words))    # SORE via iDTD:   a? b+
     print(infer_chare(words))   # CHARE via CRX:   a? b+
 
-    docs = [parse_document("<r><x/><y/></r>")]
-    print(infer_dtd(docs).render())
+    print(infer("<r><x/><y/></r>").render())
+
+:func:`repro.api.infer` is the entry point for whole-corpus inference
+(batch, streaming, sharded); the older per-path entry points
+(``infer_dtd``, ``DTDInferencer.infer``, ``infer_parallel``, ...) are
+still importable but deprecated.
 """
 
+from .api import InferenceConfig, InferenceResult, infer
 from .automata import SOA, state_elimination
 from .core import (
     DTDInferencer,
@@ -65,6 +71,9 @@ __all__ = [
     "DTDInferencer",
     "Document",
     "Dtd",
+    "InferenceConfig",
+    "InferenceResult",
+    "infer",
     "IncrementalCRX",
     "IncrementalSOA",
     "Regex",

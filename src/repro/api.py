@@ -1,0 +1,248 @@
+"""The unified inference façade: one entry point for every pipeline.
+
+Historically the repo grew five ways to get from XML to a DTD
+(``DTDInferencer.infer``, ``infer_from_evidence``,
+``infer_from_streaming``, the module-level ``infer_dtd`` and
+``runtime.parallel.infer_parallel``), each with its own argument
+conventions.  This module collapses them behind one function::
+
+    from repro.api import InferenceConfig, infer
+
+    result = infer(["corpus/a.xml", "corpus/b.xml"])
+    print(result.dtd.render())
+
+    result = infer("corpus/", config=InferenceConfig(
+        method="idtd", streaming=True, jobs=4,
+    ))
+
+``infer`` accepts parsed :class:`~repro.xmlio.tree.Document` objects,
+XML literals, file paths, directories (expanded to their sorted
+``*.xml`` files), or any iterable mixing those.  The configuration is a
+frozen keyword-only dataclass that rejects illegal combinations at
+construction time, before any parsing starts.
+
+Every path through this function produces byte-identical DTDs to the
+legacy entry points — they now all share the same engine
+(:class:`~repro.core.inference.DTDInferencer`'s private finalizers) and
+are property-tested against each other in
+``tests/integration/test_api.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Union
+
+from .core.inference import (
+    DEFAULT_SPARSE_THRESHOLD,
+    DTDInferencer,
+    InferenceReport,
+    Method,
+    apply_support_threshold,
+)
+from .errors import UsageError
+from .obs.recorder import NULL_RECORDER, Recorder
+from .xmlio.dtd import Dtd
+from .xmlio.extract import StreamingEvidence, extract_evidence
+from .xmlio.parser import parse_document, parse_file
+from .xmlio.tree import Document
+from .xmlio.xsd import dtd_to_xsd
+
+Source = Union[Document, str, os.PathLike, Iterable]
+
+__all__ = ["InferenceConfig", "InferenceResult", "infer"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class InferenceConfig:
+    """Everything that shapes an inference run, validated up front.
+
+    Parameters:
+        method: per-element learner — ``"idtd"`` (SOREs), ``"crx"``
+            (CHAREs) or ``"auto"`` (the paper's sparse/abundant switch).
+        streaming: fold documents directly into learner states instead
+            of materializing child sequences (constant memory).
+        jobs: shard the corpus across this many worker processes and
+            merge the learner states (map-reduce; implies streaming).
+            Requires file-path sources.  ``None`` means in-process.
+        numeric: tighten ``+``/``*`` to numerical bounds (Section 9).
+            Needs the full sample, so it excludes streaming/jobs.
+        support_threshold: drop element names seen in fewer than this
+            many parent sequences (noise handling, Section 9).  Also
+            needs the full sample.
+        sparse_threshold: the ``auto``-method cut-over sample size.
+        infer_attributes: also generate ``<!ATTLIST>`` declarations.
+        recorder: instrumentation sink (:mod:`repro.obs`); the default
+            no-op recorder costs nearly nothing.
+    """
+
+    method: Method = "auto"
+    streaming: bool = False
+    jobs: int | None = None
+    numeric: bool = False
+    support_threshold: int = 0
+    sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD
+    infer_attributes: bool = True
+    recorder: Recorder = NULL_RECORDER
+
+    def __post_init__(self) -> None:
+        if self.method not in ("auto", "idtd", "crx"):
+            raise UsageError(
+                f"unknown method {self.method!r}: expected 'auto', 'idtd' "
+                "or 'crx'"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise UsageError(f"jobs must be >= 1, got {self.jobs}")
+        if self.support_threshold < 0:
+            raise UsageError(
+                f"support_threshold must be >= 0, got {self.support_threshold}"
+            )
+        if self.sparse_threshold < 0:
+            raise UsageError(
+                f"sparse_threshold must be >= 0, got {self.sparse_threshold}"
+            )
+        if self.effective_streaming and self.numeric:
+            raise UsageError(
+                "numeric (--numeric) needs the full sample: it cannot be "
+                "combined with streaming/jobs (use the batch path)"
+            )
+        if self.effective_streaming and self.support_threshold > 0:
+            raise UsageError(
+                "support_threshold (--support-threshold) rereads the sample: "
+                "it cannot be combined with streaming/jobs (use the batch "
+                "path)"
+            )
+
+    @property
+    def effective_streaming(self) -> bool:
+        """Whether the run uses the streaming pipeline (jobs implies it)."""
+        return self.streaming or self.jobs is not None
+
+
+@dataclass
+class InferenceResult:
+    """What an inference run produced, plus how it got there."""
+
+    dtd: Dtd
+    report: InferenceReport
+    config: InferenceConfig
+    recorder: Recorder = field(default=NULL_RECORDER, repr=False)
+
+    def render(self) -> str:
+        """The DTD as text (identical to the legacy ``dtd.render()``)."""
+        with self.recorder.span("emit", format="dtd"):
+            return self.dtd.render()
+
+    def to_xsd(self) -> str:
+        """The schema as XSD, with sniffed simple types (Section 9)."""
+        with self.recorder.span("emit", format="xsd"):
+            return dtd_to_xsd(self.dtd, text_types=self.report.text_types)
+
+
+def _expand_source(source: Source) -> list[Document | str]:
+    """Flatten ``source`` into a list of Documents and file paths.
+
+    Accepts a parsed Document, an XML literal (anything whose first
+    non-blank character is ``<``), a file path, a directory (expanded
+    to its sorted ``*.xml`` files), or an iterable mixing all of those.
+    """
+    if isinstance(source, Document):
+        return [source]
+    if isinstance(source, str) and source.lstrip()[:1] == "<":
+        return [parse_document(source)]
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        # Only paths that plausibly name a directory pay the stat call;
+        # the common case (a .xml file path) goes straight through.
+        if not path.endswith(".xml") and os.path.isdir(path):
+            found = sorted(str(child) for child in Path(path).glob("*.xml"))
+            if not found:
+                raise UsageError(f"no *.xml files in directory {path}")
+            return found
+        return [path]
+    if isinstance(source, Iterable):
+        items: list[Document | str] = []
+        for element in source:
+            items.extend(_expand_source(element))
+        return items
+    raise UsageError(
+        f"cannot infer from {type(source).__name__}: expected Documents, "
+        "XML strings, paths, directories, or an iterable of those"
+    )
+
+
+def infer(
+    source: Source, config: InferenceConfig | None = None
+) -> InferenceResult:
+    """Infer a DTD from ``source`` under ``config``.
+
+    This is *the* entry point: batch and streaming, serial and
+    sharded, all learner choices.  Returns an
+    :class:`InferenceResult`; ``result.dtd`` is byte-identical to what
+    the corresponding legacy entry point produced.
+    """
+    if config is None:
+        config = InferenceConfig()
+    recorder = config.recorder
+    inferencer = DTDInferencer(
+        method=config.method,
+        sparse_threshold=config.sparse_threshold,
+        numeric=config.numeric,
+        infer_attributes=config.infer_attributes,
+        recorder=recorder,
+    )
+    items = _expand_source(source)
+    if not items:
+        raise UsageError("no documents to infer from")
+    paths = [item for item in items if isinstance(item, str)]
+    all_paths = len(paths) == len(items)
+
+    if config.effective_streaming:
+        if config.jobs is not None and config.jobs > 1 and not all_paths:
+            raise UsageError(
+                "jobs > 1 shards file paths across worker processes; "
+                "already-parsed documents and XML literals cannot be "
+                "shipped — pass file paths or drop jobs"
+            )
+        if all_paths:
+            from .runtime.parallel import parallel_evidence
+
+            evidence = parallel_evidence(
+                paths,
+                jobs=config.jobs if config.jobs is not None else 1,
+                recorder=recorder,
+            )
+        else:
+            evidence = StreamingEvidence()
+            for item in items:
+                document = (
+                    item
+                    if isinstance(item, Document)
+                    else parse_file(item, recorder)
+                )
+                with recorder.span("extract"):
+                    evidence.add_document(document, recorder)
+        if recorder.enabled:
+            recorder.count("elements", len(evidence.elements))
+        dtd = inferencer._finalize_streaming(evidence)
+    else:
+        documents = [
+            item if isinstance(item, Document) else parse_file(item, recorder)
+            for item in items
+        ]
+        with recorder.span("extract", documents=len(documents)):
+            evidence = extract_evidence(documents, recorder=recorder)
+        if config.support_threshold > 0:
+            with recorder.span("filter", threshold=config.support_threshold):
+                apply_support_threshold(
+                    evidence, config.support_threshold, recorder
+                )
+        dtd = inferencer._finalize_batch(evidence)
+    return InferenceResult(
+        dtd=dtd,
+        report=inferencer.report,
+        config=config,
+        recorder=recorder,
+    )

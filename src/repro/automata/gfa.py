@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, Sym
 from ..regex.language import matches
 from .soa import SOA
@@ -60,6 +61,10 @@ class GFA:
         self._out: dict[int, set[int]] = {SOURCE: set(), SINK: set()}
         self._in: dict[int, set[int]] = {SOURCE: set(), SINK: set()}
         self._next_id = 0
+        #: Instrumentation sink; :func:`repro.core.rewrite.rewrite_gfa`
+        #: attaches a live one so state merges are counted where they
+        #: happen instead of being re-derived by every caller.
+        self.recorder: Recorder = NULL_RECORDER
 
     # -- construction ---------------------------------------------------------
 
@@ -90,6 +95,7 @@ class GFA:
         clone._out = {node: set(succ) for node, succ in self._out.items()}
         clone._in = {node: set(pred) for node, pred in self._in.items()}
         clone._next_id = self._next_id
+        clone.recorder = self.recorder
         return clone
 
     # -- mutation -------------------------------------------------------------
@@ -134,6 +140,8 @@ class GFA:
         become a self-loop on the new node.  Returns the new node id.
         """
         merged = set(nodes)
+        if self.recorder.enabled:
+            self.recorder.count("soa.states_eliminated", len(merged) - 1)
         new_node = self.add_node(label)
         for node in nodes:
             for successor in list(self._out[node]):

@@ -22,85 +22,43 @@ import argparse
 import sys
 from typing import Sequence
 
+from .api import InferenceConfig, infer
 from .core.crx import crx
 from .core.idtd import idtd
-from .core.inference import DTDInferencer
+from .errors import EXIT_INTERNAL, EXIT_OK, EXIT_USAGE, ReproError, UsageError, exit_code_for
+from .obs.recorder import NULL_RECORDER, StatsRecorder
+from .obs.report import format_stats, write_trace
 from .regex.printer import to_dtd_syntax, to_paper_syntax
 from .xmlio.dtd import parse_dtd
-from .xmlio.extract import WordBag, extract_evidence
 from .xmlio.parser import parse_file
 from .xmlio.validate import validate
-from .xmlio.xsd import dtd_to_xsd
-
-EXIT_OK = 0
-EXIT_USAGE = 1
-EXIT_INTERNAL = 2
-
-
-class _UsageError(ValueError):
-    """An input/usage problem detected inside a subcommand handler."""
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    streaming = args.streaming or args.jobs is not None
-    if streaming and args.numeric:
-        raise _UsageError(
-            "--numeric needs the full sample: it cannot be combined with "
-            "--streaming/--jobs (use the batch path)"
-        )
-    if streaming and args.support_threshold > 0:
-        raise _UsageError(
-            "--support-threshold rereads the sample: it cannot be combined "
-            "with --streaming/--jobs (use the batch path)"
-        )
-    inferencer = DTDInferencer(
+    wants_stats = args.stats or args.trace is not None
+    recorder = StatsRecorder() if wants_stats else NULL_RECORDER
+    config = InferenceConfig(
         method=args.method,
+        streaming=args.streaming,
+        jobs=args.jobs,
         numeric=args.numeric,
+        support_threshold=args.support_threshold,
         infer_attributes=not args.no_attributes,
+        recorder=recorder,
     )
-    if streaming:
-        from .runtime.parallel import parallel_evidence
-
-        jobs = args.jobs if args.jobs is not None else 1
-        evidence = parallel_evidence(args.files, jobs=jobs)
-        dtd = inferencer.infer_from_streaming(evidence)
-    else:
-        documents = [parse_file(path) for path in args.files]
-        evidence = extract_evidence(documents)
-        if args.support_threshold > 0:
-            _apply_support_threshold(evidence, args.support_threshold)
-        dtd = inferencer.infer_from_evidence(evidence)
+    result = infer(args.files, config=config)
     if args.format == "dtd":
-        sys.stdout.write(dtd.render())
+        sys.stdout.write(result.render())
     else:
-        sys.stdout.write(dtd_to_xsd(dtd, text_types=inferencer.report.text_types))
+        sys.stdout.write(result.to_xsd())
+    if wants_stats:
+        snapshot = recorder.snapshot()
+        if args.trace is not None:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                write_trace(snapshot, handle)
+        if args.stats:
+            print(format_stats(snapshot), file=sys.stderr)
     return EXIT_OK
-
-
-def _apply_support_threshold(evidence, threshold: int) -> None:
-    """Noise handling (Section 9): drop element names mentioned in
-    fewer than ``threshold`` parent sequences, corpus-wide."""
-    support: dict[str, int] = {}
-    for element in evidence.elements.values():
-        for sequence, count in element.child_sequences.distinct():
-            for name in set(sequence):
-                support[name] = support.get(name, 0) + count
-    noisy = {
-        name
-        for name, count in support.items()
-        if count < threshold and name in evidence.elements
-    }
-    if not noisy:
-        return
-    for element in evidence.elements.values():
-        filtered = WordBag()
-        for sequence, count in element.child_sequences.distinct():
-            filtered.add(
-                tuple(name for name in sequence if name not in noisy), count
-            )
-        element.child_sequences = filtered
-    for name in noisy:
-        evidence.elements.pop(name, None)
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
@@ -148,9 +106,10 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             new = parse_dtd(handle.read())
     else:
         if not args.files:
-            raise _UsageError("diff: need --new DTD or XML files to infer one from")
-        documents = [parse_file(path) for path in args.files]
-        new = DTDInferencer(method=args.method).infer(documents)
+            raise UsageError("diff: need --new DTD or XML files to infer one from")
+        new = infer(
+            args.files, config=InferenceConfig(method=args.method)
+        ).dtd
     interesting = [
         entry for entry in diff_dtds(old, new) if entry.relation != "equal"
     ]
@@ -197,7 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    infer = commands.add_parser("infer", help="infer a DTD from XML files")
+    infer = commands.add_parser(
+        "infer", aliases=["dtd"], help="infer a DTD from XML files"
+    )
     infer.add_argument("files", nargs="+", help="XML documents")
     infer.add_argument(
         "--method",
@@ -237,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard the corpus across N worker processes and merge the "
         "learner states (map-reduce; implies --streaming)",
+    )
+    infer.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-phase timing/counter table to stderr",
+    )
+    infer.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write spans and counters as JSON lines to FILE "
+        "(validate with python -m repro.obs.check_trace)",
     )
     infer.set_defaults(handler=_cmd_infer)
 
@@ -294,12 +267,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return args.handler(args)
     except (KeyboardInterrupt, BrokenPipeError, SystemExit):
         raise
-    except (OSError, UnicodeDecodeError, ValueError) as exc:
-        # Covers _UsageError, XmlSyntaxError, DtdSyntaxError and plain
-        # ValueErrors ("cannot infer from empty content only"): all are
-        # problems with the user's input, never with the engine.
-        print(f"repro-infer: error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+    except (ReproError, OSError, UnicodeDecodeError, ValueError) as exc:
+        # The typed hierarchy (UsageError, CorpusError, InternalError)
+        # plus the untyped input errors it replaced: every exception
+        # maps onto the uniform exit codes in exactly one place.
+        code = exit_code_for(exc)
+        prefix = "internal error" if code == EXIT_INTERNAL else "error"
+        print(f"repro-infer: {prefix}: {exc}", file=sys.stderr)
+        return code
     except Exception as exc:
         print(
             f"repro-infer: internal error: {type(exc).__name__}: {exc}",

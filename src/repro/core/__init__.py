@@ -11,7 +11,12 @@
 
 from .crx import ClassSummary, CrxState, crx, quantifier_for
 from .idtd import IdtdError, IdtdResult, idtd, idtd_from_soa
-from .inference import DTDInferencer, InferenceReport, infer_dtd
+from .inference import (
+    DTDInferencer,
+    InferenceReport,
+    apply_support_threshold,
+    infer_dtd,
+)
 from .numeric import annotate_numeric
 from .repair import Repair, find_repair
 from .rewrite import (
@@ -38,6 +43,7 @@ __all__ = [
     "RewriteResult",
     "all_applications",
     "annotate_numeric",
+    "apply_support_threshold",
     "apply_application",
     "crx",
     "find_application",

@@ -30,6 +30,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..errors import CorpusError
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, Star, concat, disj, syms
 
 Word = Sequence[str]
@@ -314,10 +316,14 @@ class CrxState:
             )
         return result
 
-    def infer(self) -> Regex:
+    def infer(self, recorder: Recorder = NULL_RECORDER) -> Regex:
         """The CHARE for the data seen so far (Algorithm 3)."""
+        summaries = self.summaries()
+        if recorder.enabled:
+            recorder.count("crx.classes", len(summaries))
+            recorder.count("crx.arrows", len(self.arrows))
         factors: list[Regex] = []
-        for summary in self.summaries():
+        for summary in summaries:
             base = disj(*syms(summary.members))
             if summary.quantifier == "?":
                 factors.append(Opt(base))
@@ -328,13 +334,13 @@ class CrxState:
             else:
                 factors.append(base)
         if not factors:
-            raise ValueError(
+            raise CorpusError(
                 "cannot infer an expression from empty content only"
             )
         return concat(*factors)
 
 
-def crx(words: Iterable[Word]) -> Regex:
+def crx(words: Iterable[Word], recorder: Recorder = NULL_RECORDER) -> Regex:
     """Infer a CHARE from example words, ``W ⊆ L(crx(W))`` (Theorem 3).
 
     Runs in ``O(m + n³)`` for data size ``m`` and alphabet size ``n``.
@@ -342,4 +348,4 @@ def crx(words: Iterable[Word]) -> Regex:
     """
     state = CrxState()
     state.add_all(words)
-    return state.infer()
+    return state.infer(recorder=recorder)

@@ -24,6 +24,8 @@ from typing import Sequence
 
 from ..automata.gfa import GFA, SINK, SOURCE
 from ..automata.soa import SOA
+from ..errors import CorpusError, InternalError
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Plus, Regex, disj
 from ..regex.normalize import contract_stars, simplify
 from ..regex.printer import to_paper_syntax
@@ -45,7 +47,7 @@ class IdtdResult:
         return bool(self.repairs)
 
 
-class IdtdError(RuntimeError):
+class IdtdError(InternalError):
     """Internal failure of the repair ladder (should be unreachable)."""
 
 
@@ -136,6 +138,7 @@ def idtd_from_soa(
     k: int = 2,
     order: Sequence[str] = DEFAULT_ORDER,
     max_rounds: int | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> IdtdResult:
     """Run iDTD on a SOA, always producing a SORE with ``L(A) ⊆ L(r)``.
 
@@ -146,14 +149,14 @@ def idtd_from_soa(
     """
     gfa = GFA.from_soa(soa)
     if not gfa.nodes():
-        raise ValueError(
+        raise CorpusError(
             "the SOA has no states: an empty language has no SORE; "
             "handle empty samples at the DTD layer"
         )
     steps: list[Application] = []
     repairs: list[Repair] = []
     rounds_left = max_rounds if max_rounds is not None else 4 * len(gfa.nodes()) + 16
-    result = rewrite_gfa(gfa, order=order)
+    result = rewrite_gfa(gfa, order=order, recorder=recorder)
     steps.extend(result.steps)
     current_k = k
     while not gfa.is_final():
@@ -167,7 +170,10 @@ def idtd_from_soa(
         if repair is not None:
             repair.apply(gfa)
             repairs.append(repair)
-        elif not _contract_scc(gfa):
+            recorder.count("repair.firings")
+        elif _contract_scc(gfa):
+            recorder.count("repair.scc_contractions")
+        else:
             # An acyclic stuck graph with no applicable repair: connect
             # everything through the weakest precondition — treat every
             # node as optional-enabled.  In practice unreachable; kept
@@ -176,7 +182,7 @@ def idtd_from_soa(
                 "no repair applicable on an acyclic GFA; "
                 "this indicates a bug in the repair preconditions"
             )
-        result = rewrite_gfa(gfa, order=order)
+        result = rewrite_gfa(gfa, order=order, recorder=recorder)
         steps.extend(result.steps)
     regex = contract_stars(simplify(gfa.final_regex()))
     return IdtdResult(regex=regex, steps=steps, repairs=repairs)
@@ -186,6 +192,7 @@ def idtd(
     words: Sequence[Sequence[str]],
     k: int = 2,
     order: Sequence[str] = DEFAULT_ORDER,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Regex:
     """Infer a SORE from example words: 2T-INF then repair-rewrite.
 
@@ -197,6 +204,8 @@ def idtd(
     from ..learning.tinf import tinf
 
     if not any(words):
-        raise ValueError("cannot infer an expression from empty content only")
-    soa = tinf(words)
-    return idtd_from_soa(soa, k=k, order=order).regex
+        raise CorpusError(
+            "cannot infer an expression from empty content only"
+        )
+    soa = tinf(words, recorder=recorder)
+    return idtd_from_soa(soa, k=k, order=order, recorder=recorder).regex

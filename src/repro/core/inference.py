@@ -16,13 +16,22 @@ Mixed content, text-only and empty elements are detected from the
 corpus and mapped to the corresponding DTD content specifications;
 attribute lists are generated from attribute usage.  Numerical
 predicates (Section 9) can be switched on to tighten ``+``/``*``.
+
+The preferred entry point is :func:`repro.api.infer`; the historical
+entry points on this class (``infer``, ``infer_from_evidence``,
+``infer_from_streaming``) and the module-level :func:`infer_dtd`
+survive as deprecated shims over the same engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
+from ..errors import CorpusError, UsageError
+from ..learning.tinf import tinf
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Regex
 from ..regex.normalize import normalize
 from ..xmlio.datatypes import sniff_type
@@ -37,7 +46,7 @@ from ..xmlio.extract import (
 )
 from ..xmlio.tree import Document
 from .crx import CrxState
-from .idtd import idtd
+from .idtd import idtd_from_soa
 from .numeric import annotate_numeric
 
 Method = Literal["idtd", "crx", "auto"]
@@ -45,6 +54,14 @@ Method = Literal["idtd", "crx", "auto"]
 #: Below this many example sequences, ``auto`` prefers CRX's stronger
 #: generalisation over iDTD's specificity (Section 1.2's two regimes).
 DEFAULT_SPARSE_THRESHOLD = 50
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -63,6 +80,8 @@ class DTDInferencer:
         sparse_threshold: the auto-mode cut-over sample size.
         numeric: tighten ``+``/``*`` into ``{m,n}`` bounds (Section 9).
         infer_attributes: also generate ``<!ATTLIST>`` declarations.
+        recorder: instrumentation sink (see :mod:`repro.obs`); spans
+            ``soa``/``rewrite``/``crx`` are opened per element.
     """
 
     def __init__(
@@ -71,13 +90,15 @@ class DTDInferencer:
         sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD,
         numeric: bool = False,
         infer_attributes: bool = True,
+        recorder: Recorder | None = None,
     ) -> None:
         if method not in ("idtd", "crx", "auto"):
-            raise ValueError(f"unknown method {method!r}")
+            raise UsageError(f"unknown method {method!r}")
         self.method = method
         self.sparse_threshold = sparse_threshold
         self.numeric = numeric
         self.infer_attributes = infer_attributes
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.report = InferenceReport()
 
     # -- learner selection ---------------------------------------------------
@@ -88,21 +109,26 @@ class DTDInferencer:
         return self.method
 
     def _learn_regex(
-        self, words: WordBag | Sequence[tuple[str, ...]]
+        self, name: str, words: WordBag | Sequence[tuple[str, ...]]
     ) -> tuple[Regex, str]:
         sample = words if isinstance(words, WordBag) else WordBag(words)
         method = self._pick_method(sample.nonempty_total)
+        recorder = self.recorder
         # Both learners are insensitive to word order and (for their
         # structural part) to multiplicities, so learning runs over the
         # distinct words only — multiplicities enter CRX through
         # ``add_counted`` and never matter to the SOA triple.
         if method == "crx":
-            state = CrxState()
-            for word, count in sample.distinct():
-                state.add_counted(word, count)
-            regex = state.infer()
+            with recorder.span("crx", element=name):
+                state = CrxState()
+                for word, count in sample.distinct():
+                    state.add_counted(word, count)
+                regex = state.infer(recorder=recorder)
         else:
-            regex = idtd(sample.distinct_words())
+            with recorder.span("soa", element=name):
+                soa = tinf(sample.distinct_words(), recorder=recorder)
+            with recorder.span("rewrite", element=name):
+                regex = idtd_from_soa(soa, recorder=recorder).regex
         if self.numeric:
             regex = annotate_numeric(regex, sample.distinct_words())
         return regex, method
@@ -132,7 +158,7 @@ class DTDInferencer:
         if not has_children:
             self.report.method_used[evidence.name] = "empty"
             return Empty()
-        regex, method = self._learn_regex(sample)
+        regex, method = self._learn_regex(evidence.name, sample)
         regex = self._wrap_optional(regex, sample.has_empty())
         self.report.method_used[evidence.name] = method
         return Children(regex=regex)
@@ -152,9 +178,16 @@ class DTDInferencer:
             self.report.method_used[evidence.name] = "empty"
             return Empty()
         method = self._pick_method(evidence.nonempty_count)
-        regex = (
-            evidence.crx.infer() if method == "crx" else evidence.soa.infer()
-        )
+        recorder = self.recorder
+        if method == "crx":
+            with recorder.span("crx", element=evidence.name):
+                regex = evidence.crx.infer(recorder=recorder)
+        else:
+            # The SOA itself was built during extraction (its fold time
+            # shows up under the streaming ``soa`` aggregate spans);
+            # what remains here is the Section 5/6 rewrite + repair.
+            with recorder.span("rewrite", element=evidence.name):
+                regex = evidence.soa.infer(recorder=recorder)
         regex = self._wrap_optional(regex, evidence.empty_count > 0)
         self.report.method_used[evidence.name] = method
         return Children(regex=regex)
@@ -180,9 +213,9 @@ class DTDInferencer:
             )
         return definitions
 
-    # -- public API -----------------------------------------------------------
+    # -- the engine (no deprecation warnings; the façade calls these) ---------
 
-    def infer_from_evidence(self, evidence: CorpusEvidence) -> Dtd:
+    def _finalize_batch(self, evidence: CorpusEvidence) -> Dtd:
         dtd = Dtd(start=evidence.majority_root())
         for name in sorted(evidence.elements):
             element_evidence = evidence.elements[name]
@@ -191,19 +224,11 @@ class DTDInferencer:
                 dtd.attributes[name] = self._attlist(element_evidence)
         return dtd
 
-    def infer_from_streaming(self, evidence: StreamingEvidence) -> Dtd:
-        """Infer a DTD from streamed (possibly shard-merged) evidence.
-
-        Produces exactly the DTD the batch path produces on the same
-        corpus: the learner states fold the same sample and both
-        learners are order- and sharding-insensitive.  Numerical
-        predicates are the one exception — they need the full sample,
-        which streaming evidence deliberately does not retain.
-        """
+    def _finalize_streaming(self, evidence: StreamingEvidence) -> Dtd:
         if self.numeric:
-            raise ValueError(
+            raise UsageError(
                 "numerical predicates need the full child-sequence sample; "
-                "use the batch path (infer_from_evidence) with numeric=True"
+                "use the batch path with numeric=True"
             )
         dtd = Dtd(start=evidence.majority_root())
         for name in sorted(evidence.elements):
@@ -213,9 +238,71 @@ class DTDInferencer:
                 dtd.attributes[name] = self._attlist(element_evidence)
         return dtd
 
+    def _infer_documents(self, documents: Iterable[Document]) -> Dtd:
+        return self._finalize_batch(
+            extract_evidence(documents, recorder=self.recorder)
+        )
+
+    # -- deprecated public API -------------------------------------------------
+
+    def infer_from_evidence(self, evidence: CorpusEvidence) -> Dtd:
+        """Deprecated: use :func:`repro.api.infer`."""
+        _warn_deprecated(
+            "DTDInferencer.infer_from_evidence", "repro.api.infer"
+        )
+        return self._finalize_batch(evidence)
+
+    def infer_from_streaming(self, evidence: StreamingEvidence) -> Dtd:
+        """Deprecated: use :func:`repro.api.infer` with
+        ``InferenceConfig(streaming=True)``.
+
+        Produces exactly the DTD the batch path produces on the same
+        corpus: the learner states fold the same sample and both
+        learners are order- and sharding-insensitive.  Numerical
+        predicates are the one exception — they need the full sample,
+        which streaming evidence deliberately does not retain.
+        """
+        _warn_deprecated(
+            "DTDInferencer.infer_from_streaming", "repro.api.infer"
+        )
+        return self._finalize_streaming(evidence)
+
     def infer(self, documents: Iterable[Document]) -> Dtd:
-        """Infer a DTD for a corpus of parsed documents."""
-        return self.infer_from_evidence(extract_evidence(documents))
+        """Deprecated: use :func:`repro.api.infer`."""
+        _warn_deprecated("DTDInferencer.infer", "repro.api.infer")
+        return self._infer_documents(documents)
+
+
+def apply_support_threshold(
+    evidence: CorpusEvidence,
+    threshold: int,
+    recorder: Recorder = NULL_RECORDER,
+) -> None:
+    """Noise handling (Section 9): drop element names mentioned in
+    fewer than ``threshold`` parent sequences, corpus-wide."""
+    support: dict[str, int] = {}
+    for element in evidence.elements.values():
+        for sequence, count in element.child_sequences.distinct():
+            for name in set(sequence):
+                support[name] = support.get(name, 0) + count
+    noisy = {
+        name
+        for name, count in support.items()
+        if count < threshold and name in evidence.elements
+    }
+    if recorder.enabled:
+        recorder.count("filter.dropped_names", len(noisy))
+    if not noisy:
+        return
+    for element in evidence.elements.values():
+        filtered = WordBag()
+        for sequence, count in element.child_sequences.distinct():
+            filtered.add(
+                tuple(name for name in sequence if name not in noisy), count
+            )
+        element.child_sequences = filtered
+    for name in noisy:
+        evidence.elements.pop(name, None)
 
 
 def infer_dtd(
@@ -223,5 +310,6 @@ def infer_dtd(
     method: Method = "auto",
     **kwargs,
 ) -> Dtd:
-    """One-shot convenience: infer a DTD from parsed documents."""
-    return DTDInferencer(method=method, **kwargs).infer(documents)
+    """Deprecated one-shot convenience: use :func:`repro.api.infer`."""
+    _warn_deprecated("infer_dtd", "repro.api.infer")
+    return DTDInferencer(method=method, **kwargs)._infer_documents(documents)

@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 
 from ..automata.gfa import GFA, SINK, SOURCE, Closure
 from ..automata.soa import SOA
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, disj
 from ..regex.normalize import contract_stars, normalize, simplify
 from ..regex.printer import to_paper_syntax
@@ -325,6 +326,7 @@ def rewrite_gfa(
     gfa: GFA,
     order: Sequence[str] = DEFAULT_ORDER,
     rng: random.Random | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> RewriteResult:
     """Run rewrite rules on ``gfa`` (mutated in place) to exhaustion.
 
@@ -332,6 +334,8 @@ def rewrite_gfa(
     rules instead of following ``order`` — the Claim 2 confluence
     experiments use this to show any order reaches an equivalent SORE.
     """
+    if recorder.enabled:
+        gfa.recorder = recorder
     steps: list[Application] = []
     while True:
         if rng is None:
@@ -343,6 +347,9 @@ def rewrite_gfa(
             break
         apply_application(gfa, application)
         steps.append(application)
+        if recorder.enabled:
+            recorder.count("rewrite.steps")
+            recorder.count(f"rewrite.{application.rule}")
     regex = None
     if gfa.is_final():
         regex = contract_stars(simplify(gfa.final_regex()))
@@ -353,6 +360,7 @@ def rewrite(
     soa: SOA,
     order: Sequence[str] = DEFAULT_ORDER,
     rng: random.Random | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> RewriteResult:
     """Algorithm 1: SOA → equivalent SORE, or failure.
 
@@ -362,4 +370,4 @@ def rewrite(
     typically because the sample behind the SOA was not representative
     (that is iDTD's cue to repair, Section 6).
     """
-    return rewrite_gfa(GFA.from_soa(soa), order=order, rng=rng)
+    return rewrite_gfa(GFA.from_soa(soa), order=order, rng=rng, recorder=recorder)

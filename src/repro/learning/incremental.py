@@ -22,6 +22,8 @@ from typing import Iterable, Sequence
 from ..automata.soa import SOA
 from ..core.crx import CrxState, quantifier_for
 from ..core.idtd import idtd_from_soa
+from ..errors import CorpusError
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Regex
 
 Word = Sequence[str]
@@ -99,12 +101,15 @@ class IncrementalSOA:
             return True
         return False
 
-    def infer(self) -> Regex:
+    def infer(self, recorder: Recorder = NULL_RECORDER) -> Regex:
         """The iDTD expression for all data seen so far (cached)."""
         if self._cached is None:
+            recorder.count("cache.misses")
             if not self.soa.symbols:
-                raise ValueError("no non-empty content seen yet")
-            self._cached = idtd_from_soa(self.soa).regex
+                raise CorpusError("no non-empty content seen yet")
+            self._cached = idtd_from_soa(self.soa, recorder=recorder).regex
+        else:
+            recorder.count("cache.hits")
         return self._cached
 
 
@@ -163,8 +168,11 @@ class IncrementalCRX:
         self.state.merge(other.state)
         self._invalidate()
 
-    def infer(self) -> Regex:
+    def infer(self, recorder: Recorder = NULL_RECORDER) -> Regex:
         if self._cached is None:
+            recorder.count("cache.misses")
             self._summaries = self.state.summaries()
-            self._cached = self.state.infer()
+            self._cached = self.state.infer(recorder=recorder)
+        else:
+            recorder.count("cache.hits")
         return self._cached

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..automata.soa import SOA
+from ..errors import UsageError
+from ..obs.recorder import NULL_RECORDER, Recorder
 
 Word = Sequence[str]
 
@@ -46,13 +48,16 @@ def sample_two_grams(
     return initial, final, grams, alphabet, has_empty
 
 
-def tinf(words: Iterable[Word]) -> SOA:
+def tinf(words: Iterable[Word], recorder: Recorder = NULL_RECORDER) -> SOA:
     """Infer the 2T-INF automaton ``G_W`` from a sample of words.
 
     Words are sequences of element names.  An empty sample yields the
     SOA of the empty language; empty words set ``accepts_empty``.
     """
     initial, final, grams, alphabet, has_empty = sample_two_grams(words)
+    if recorder.enabled:
+        recorder.count("soa.symbols", len(alphabet))
+        recorder.count("soa.edges", len(grams))
     return SOA(
         symbols=alphabet,
         initial=initial,
@@ -73,7 +78,7 @@ class KTestableAutomaton:
 
     def __init__(self, k: int) -> None:
         if k < 2:
-            raise ValueError("k-testable inference requires k >= 2")
+            raise UsageError("k-testable inference requires k >= 2")
         self.k = k
         self.prefixes: set[tuple[str, ...]] = set()
         self.suffixes: set[tuple[str, ...]] = set()

@@ -1,0 +1,143 @@
+"""Validation of ``--trace`` JSON-lines output against a small schema.
+
+Used three ways: by the test suite, by the CI smoke step
+(``python -m repro.obs.check_trace out.jsonl``), and by anyone who
+wants to consume traces defensively.  The schema is deliberately tiny
+and hand-rolled — no jsonschema dependency:
+
+* every line is a JSON object with a ``type`` of ``span`` or
+  ``summary``;
+* ``span`` lines carry ``name`` (str), ``duration`` (number ≥ 0),
+  ``attrs`` (object), ``count`` (int ≥ 1), plus nullable ``id``,
+  ``parent``, ``start`` and ``shard``;
+* exactly one ``summary`` line, last, with ``counters`` (object of
+  ints) and ``memory`` (array of samples).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable
+
+_SPAN_KEYS = {
+    "type",
+    "id",
+    "parent",
+    "name",
+    "attrs",
+    "start",
+    "duration",
+    "count",
+    "shard",
+}
+
+
+def _check_span(obj: dict, line_number: int) -> list[str]:
+    errors: list[str] = []
+    missing = _SPAN_KEYS - obj.keys()
+    if missing:
+        errors.append(f"line {line_number}: missing keys {sorted(missing)}")
+        return errors
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        errors.append(f"line {line_number}: span name must be a string")
+    if not isinstance(obj["attrs"], dict):
+        errors.append(f"line {line_number}: attrs must be an object")
+    if not isinstance(obj["count"], int) or obj["count"] < 1:
+        errors.append(f"line {line_number}: count must be an int >= 1")
+    duration = obj["duration"]
+    if not isinstance(duration, (int, float)) or duration < 0:
+        errors.append(f"line {line_number}: duration must be a number >= 0")
+    for nullable in ("id", "parent", "shard"):
+        if obj[nullable] is not None and not isinstance(obj[nullable], int):
+            errors.append(f"line {line_number}: {nullable} must be int|null")
+    if obj["start"] is not None and not isinstance(
+        obj["start"], (int, float)
+    ):
+        errors.append(f"line {line_number}: start must be a number|null")
+    return errors
+
+
+def _check_summary(obj: dict, line_number: int) -> list[str]:
+    errors: list[str] = []
+    counters = obj.get("counters")
+    if not isinstance(counters, dict) or not all(
+        isinstance(value, int) for value in counters.values()
+    ):
+        errors.append(
+            f"line {line_number}: summary counters must map names to ints"
+        )
+    memory = obj.get("memory")
+    if not isinstance(memory, list):
+        errors.append(f"line {line_number}: summary memory must be an array")
+    else:
+        for sample in memory:
+            if not isinstance(sample, dict) or "peak_rss_kb" not in sample:
+                errors.append(
+                    f"line {line_number}: memory samples need peak_rss_kb"
+                )
+                break
+    return errors
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """All schema violations in a trace, empty when the trace is valid."""
+    errors: list[str] = []
+    summaries = 0
+    saw_any = False
+    last_was_summary = False
+    for line_number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        saw_any = True
+        last_was_summary = False
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {line_number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"line {line_number}: not a JSON object")
+            continue
+        kind = obj.get("type")
+        if kind == "span":
+            errors.extend(_check_span(obj, line_number))
+        elif kind == "summary":
+            summaries += 1
+            last_was_summary = True
+            errors.extend(_check_summary(obj, line_number))
+        else:
+            errors.append(f"line {line_number}: unknown type {kind!r}")
+    if not saw_any:
+        errors.append("trace is empty")
+    elif summaries != 1:
+        errors.append(f"expected exactly one summary line, found {summaries}")
+    elif not last_was_summary:
+        errors.append("the summary must be the last line")
+    return errors
+
+
+def validate_trace_file(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        return validate_trace_lines(handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if not arguments:
+        print("usage: python -m repro.obs.check_trace TRACE.jsonl...")
+        return 1
+    failed = False
+    for path in arguments:
+        errors = validate_trace_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: valid trace")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,8 +1,11 @@
 """Execution backends: sharded, data-parallel corpus processing.
 
-* :func:`infer_parallel` / :func:`parallel_evidence` — map-reduce DTD
-  inference: shard the corpus, extract+learn per shard in worker
-  processes, merge the (tiny) learner states, finalize once.
+* :func:`parallel_evidence` — map-reduce evidence extraction: shard the
+  corpus, extract+learn per shard in worker processes, merge the (tiny)
+  learner states (and per-shard stats snapshots when a recorder is
+  live).
+* :func:`infer_parallel` — deprecated; use
+  ``repro.api.infer(paths, config=InferenceConfig(jobs=N))``.
 """
 
 from .parallel import (

@@ -17,18 +17,27 @@ embarrassingly data-parallel:
 
 The result is byte-identical to batch inference on the same corpus —
 property-tested in ``tests/runtime/test_parallel.py``.
+
+Instrumentation rides the same rails as the evidence: each worker runs
+a private :class:`~repro.obs.recorder.StatsRecorder`, ships its plain
+``snapshot()`` dict back with the evidence, and the driver folds the
+snapshots into its own recorder via ``merge_snapshot`` (tagging each
+with its shard index) — the observability monoid merged alongside the
+evidence monoid.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 from ..core.inference import DTDInferencer, Method
+from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
 from ..xmlio.extract import StreamingEvidence
-from ..xmlio.parser import parse_files
+from ..xmlio.parser import parse_file
 
 Backend = str  # "process" | "thread" | "serial"
 
@@ -55,16 +64,36 @@ def shard_paths(paths: Sequence[str], shards: int) -> list[list[str]]:
     return chunks
 
 
-def extract_from_paths(paths: Iterable[str]) -> StreamingEvidence:
+def extract_from_paths(
+    paths: Iterable[str], recorder: Recorder = NULL_RECORDER
+) -> StreamingEvidence:
     """The map step: parse each file and fold it into streaming state.
 
     Documents are parsed one at a time and released immediately; the
     worker's footprint is one document plus the learner states.
     """
     evidence = StreamingEvidence()
-    for document in parse_files(paths):
-        evidence.add_document(document)
+    for path in paths:
+        document = parse_file(path, recorder)
+        with recorder.span("extract", file=str(path)):
+            evidence.add_document(document, recorder)
     return evidence
+
+
+def _extract_shard_recorded(
+    task: tuple[int, Sequence[str]],
+) -> tuple[StreamingEvidence, Snapshot]:
+    """Worker body for instrumented runs: evidence plus a stats snapshot.
+
+    Module-level (not a closure) so it pickles into process pools.  The
+    recorder is created inside the worker and only its plain-dict
+    snapshot travels back across the process boundary.
+    """
+    index, paths = task
+    recorder = StatsRecorder()
+    with recorder.span("shard", index=index, files=len(paths)):
+        evidence = extract_from_paths(paths, recorder)
+    return evidence, recorder.snapshot()
 
 
 def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:
@@ -80,6 +109,7 @@ def parallel_evidence(
     jobs: int | None = None,
     backend: Backend = "process",
     executor: Executor | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> StreamingEvidence:
     """Extract streaming evidence from ``paths`` using ``jobs`` workers.
 
@@ -87,6 +117,10 @@ def parallel_evidence(
     ``backend="serial"``) runs in-process without an executor.  A
     caller-supplied ``executor`` overrides backend selection — useful
     for reusing a warm pool across corpora.
+
+    With a live ``recorder``, each worker records into its own
+    :class:`StatsRecorder` and the per-shard snapshots merge into
+    ``recorder`` in shard order, tagged with their shard index.
     """
     paths = list(paths)
     if jobs is None:
@@ -94,15 +128,30 @@ def parallel_evidence(
     if executor is None and (
         jobs <= 1 or len(paths) <= 1 or backend == "serial"
     ):
-        return extract_from_paths(paths)
+        return extract_from_paths(paths, recorder)
     shards = shard_paths(paths, jobs)
+
+    def _reduce(results: Iterable[object]) -> StreamingEvidence:
+        if not recorder.enabled:
+            return merge_evidence(results)
+        merged = StreamingEvidence()
+        for index, (evidence, snapshot) in enumerate(results):
+            merged.merge(evidence)
+            recorder.merge_snapshot(snapshot, shard=index)
+            recorder.count("shards")
+        return merged
+
+    if recorder.enabled:
+        worker, work = _extract_shard_recorded, list(enumerate(shards))
+    else:
+        worker, work = extract_from_paths, shards
     if executor is not None:
-        return merge_evidence(executor.map(extract_from_paths, shards))
+        return _reduce(executor.map(worker, work))
     pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
     with pool_cls(max_workers=len(shards)) as pool:
         # Executor.map preserves input order, so the reduce sees shards
         # in corpus order regardless of completion order.
-        return merge_evidence(pool.map(extract_from_paths, shards))
+        return _reduce(pool.map(worker, work))
 
 
 def infer_parallel(
@@ -113,15 +162,25 @@ def infer_parallel(
     executor: Executor | None = None,
     inferencer: DTDInferencer | None = None,
 ) -> Dtd:
-    """Sharded map-reduce DTD inference over XML files.
+    """Deprecated: use :func:`repro.api.infer` with
+    ``InferenceConfig(streaming=True, jobs=N)``.
 
-    Produces the same DTD as ``DTDInferencer.infer`` over the parsed
-    corpus, with peak memory bounded by learner-state size and
-    wall-clock divided across ``jobs`` workers.
+    Produces the same DTD as batch inference over the parsed corpus,
+    with peak memory bounded by learner-state size and wall-clock
+    divided across ``jobs`` workers.
     """
+    warnings.warn(
+        "infer_parallel is deprecated; use repro.api.infer",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if inferencer is None:
         inferencer = DTDInferencer(method=method)
     evidence = parallel_evidence(
-        paths, jobs=jobs, backend=backend, executor=executor
+        paths,
+        jobs=jobs,
+        backend=backend,
+        executor=executor,
+        recorder=inferencer.recorder,
     )
-    return inferencer.infer_from_streaming(evidence)
+    return inferencer._finalize_streaming(evidence)

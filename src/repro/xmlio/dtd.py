@@ -13,12 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..errors import CorpusError
 from ..regex.ast import Regex
 from ..regex.parser import RegexSyntaxError, parse_regex
 from ..regex.printer import to_dtd_syntax
 
 
-class DtdSyntaxError(ValueError):
+class DtdSyntaxError(CorpusError):
     """Raised on malformed DTD declarations."""
 
 

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Iterator
 
 from ..learning.incremental import IncrementalCRX, IncrementalSOA
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .tree import Document, Element
 
 Word = tuple[str, ...]
@@ -260,17 +262,32 @@ class StreamingElementEvidence:
         """All child names ever observed below this element."""
         return self.crx.state.alphabet
 
-    def add_sequence(self, word: Word) -> None:
-        self.soa.add(word)
-        self.crx.add(word)
+    def add_sequence(
+        self, word: Word, recorder: Recorder = NULL_RECORDER
+    ) -> None:
+        if recorder.enabled:
+            # Folding runs once per element occurrence — far too hot
+            # for per-call spans, so SOA vs CRX time is accumulated
+            # per element name and flushed as aggregate spans.
+            start = perf_counter()
+            self.soa.add(word)
+            mid = perf_counter()
+            self.crx.add(word)
+            recorder.add_time("soa", mid - start, element=self.name)
+            recorder.add_time("crx", perf_counter() - mid, element=self.name)
+        else:
+            self.soa.add(word)
+            self.crx.add(word)
         if word:
             self.nonempty_count += 1
         else:
             self.empty_count += 1
 
-    def observe(self, element: Element) -> None:
+    def observe(
+        self, element: Element, recorder: Recorder = NULL_RECORDER
+    ) -> None:
         self.occurrences += 1
-        self.add_sequence(element.child_names())
+        self.add_sequence(element.child_names(), recorder)
         _observe_text_and_attributes(self, element)
 
     def merge(self, other: "StreamingElementEvidence") -> None:
@@ -304,15 +321,23 @@ class StreamingEvidence:
             self.elements[name] = StreamingElementEvidence(name)
         return self.elements[name]
 
-    def add_document(self, document: Document) -> None:
+    def add_document(
+        self, document: Document, recorder: Recorder = NULL_RECORDER
+    ) -> None:
         self.document_count += 1
         self.root_counts[document.root.name] += 1
+        sequences = 0
         for element in document.iter():
-            self.evidence_for(element.name).observe(element)
+            self.evidence_for(element.name).observe(element, recorder)
+            sequences += 1
+        if recorder.enabled:
+            recorder.count("child_sequences", sequences)
 
-    def add_documents(self, documents: Iterable[Document]) -> None:
+    def add_documents(
+        self, documents: Iterable[Document], recorder: Recorder = NULL_RECORDER
+    ) -> None:
         for document in documents:
-            self.add_document(document)
+            self.add_document(document, recorder)
 
     def merge(self, other: "StreamingEvidence") -> None:
         """Fold evidence from another (disjoint) corpus shard in place."""
@@ -325,15 +350,26 @@ class StreamingEvidence:
         return _majority(self.root_counts)
 
 
-def extract_evidence(documents: Iterable[Document]) -> CorpusEvidence:
+def extract_evidence(
+    documents: Iterable[Document], recorder: Recorder = NULL_RECORDER
+) -> CorpusEvidence:
     """Collect per-element evidence from a corpus of documents."""
     evidence = CorpusEvidence()
     evidence.add_documents(documents)
+    if recorder.enabled:
+        recorder.count("elements", len(evidence.elements))
+        recorder.count(
+            "child_sequences",
+            sum(
+                element.child_sequences.total
+                for element in evidence.elements.values()
+            ),
+        )
     return evidence
 
 
 def extract_streaming_evidence(
-    documents: Iterable[Document],
+    documents: Iterable[Document], recorder: Recorder = NULL_RECORDER
 ) -> StreamingEvidence:
     """Fold a corpus directly into per-element learner states.
 
@@ -342,7 +378,9 @@ def extract_streaming_evidence(
     are dropped as soon as they are folded in.
     """
     evidence = StreamingEvidence()
-    evidence.add_documents(documents)
+    evidence.add_documents(documents, recorder)
+    if recorder.enabled:
+        recorder.count("elements", len(evidence.elements))
     return evidence
 
 

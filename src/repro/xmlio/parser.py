@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from ..errors import CorpusError
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .tree import Document, Element
 
 _PREDEFINED = {
@@ -31,7 +33,7 @@ _PREDEFINED = {
 }
 
 
-class XmlSyntaxError(ValueError):
+class XmlSyntaxError(CorpusError):
     """Raised on malformed XML, with line/column information."""
 
     def __init__(self, message: str, text: str, position: int) -> None:
@@ -266,13 +268,21 @@ def parse_document(text: str) -> Document:
     )
 
 
-def parse_file(path: str) -> Document:
+def parse_file(path: str, recorder: Recorder = NULL_RECORDER) -> Document:
     """Parse an XML document from a file path (UTF-8)."""
-    with open(path, encoding="utf-8") as handle:
-        return parse_document(handle.read())
+    with recorder.span("parse", file=str(path)):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        document = parse_document(text)
+    if recorder.enabled:
+        recorder.count("documents")
+        recorder.count("parse.chars", len(text))
+    return document
 
 
-def parse_files(paths: Iterable[str]) -> Iterator[Document]:
+def parse_files(
+    paths: Iterable[str], recorder: Recorder = NULL_RECORDER
+) -> Iterator[Document]:
     """Parse documents lazily, one at a time.
 
     The streaming evidence path folds each document in and drops it, so
@@ -280,4 +290,4 @@ def parse_files(paths: Iterable[str]) -> Iterator[Document]:
     no matter how large the corpus is.
     """
     for path in paths:
-        yield parse_file(path)
+        yield parse_file(path, recorder)

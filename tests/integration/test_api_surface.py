@@ -1,0 +1,85 @@
+"""The public API surface: façade exports and deprecation contracts.
+
+Pins down what ``repro.api`` exports and that every legacy entry point
+(a) still works and (b) warns.  A new name showing up in ``__all__`` or
+a shim silently losing its warning should fail loudly here.
+"""
+
+import pytest
+
+import repro
+import repro.api
+from repro.xmlio.parser import parse_document
+
+DOCS = [parse_document("<r><x/></r>"), parse_document("<r><x/><x/></r>")]
+
+
+class TestApiSurface:
+    def test_api_all_is_exactly_the_facade(self):
+        assert repro.api.__all__ == ["InferenceConfig", "InferenceResult", "infer"]
+
+    def test_top_level_reexports(self):
+        # The façade is importable from the package root ...
+        assert repro.infer is repro.api.infer
+        assert repro.InferenceConfig is repro.api.InferenceConfig
+        assert repro.InferenceResult is repro.api.InferenceResult
+        # ... and the historical names still resolve.
+        for name in (
+            "infer_dtd",
+            "DTDInferencer",
+            "infer_parallel",
+            "infer_sore",
+            "infer_chare",
+            "parse_document",
+            "parse_file",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_from_repro_import_infer_dtd_still_works(self):
+        from repro import infer_dtd  # the satellite's explicit contract
+
+        with pytest.warns(DeprecationWarning):
+            dtd = infer_dtd(DOCS)
+        assert "<!ELEMENT r (x+)>" in dtd.render()
+
+
+class TestShimsWarn:
+    """All five legacy entry points emit DeprecationWarning."""
+
+    def test_inferencer_infer(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.infer"):
+            repro.DTDInferencer().infer(DOCS)
+
+    def test_inferencer_infer_from_evidence(self):
+        from repro.xmlio.extract import extract_evidence
+
+        evidence = extract_evidence(DOCS)
+        with pytest.warns(DeprecationWarning, match="repro.api.infer"):
+            repro.DTDInferencer().infer_from_evidence(evidence)
+
+    def test_inferencer_infer_from_streaming(self):
+        from repro.xmlio.extract import extract_streaming_evidence
+
+        evidence = extract_streaming_evidence(DOCS)
+        with pytest.warns(DeprecationWarning, match="repro.api.infer"):
+            repro.DTDInferencer().infer_from_streaming(evidence)
+
+    def test_module_level_infer_dtd(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.infer"):
+            repro.infer_dtd(DOCS)
+
+    def test_infer_parallel(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"d{index}.xml"
+            path.write_text("<r><x/></r>", encoding="utf-8")
+            paths.append(str(path))
+        with pytest.warns(DeprecationWarning, match="repro.api.infer"):
+            repro.infer_parallel(paths, jobs=1)
+
+    def test_the_facade_itself_does_not_warn(self, recwarn):
+        repro.api.infer(DOCS)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

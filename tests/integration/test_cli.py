@@ -225,6 +225,93 @@ class TestDiff:
         assert main(["diff", "--old", str(old)]) == 1
 
 
+class TestStatsAndTrace:
+    def test_dtd_alias(self, corpus_files, capsys):
+        assert main(["dtd", *corpus_files]) == 0
+        alias = capsys.readouterr().out
+        assert main(["infer", *corpus_files]) == 0
+        assert capsys.readouterr().out == alias
+
+    def test_stats_table_on_stderr(self, corpus_files, capsys):
+        assert main(["dtd", "--stats", *corpus_files]) == 0
+        captured = capsys.readouterr()
+        assert "<!ELEMENT" in captured.out
+        for phase in ("parse", "extract", "emit", "wall clock"):
+            assert phase in captured.err
+        assert "counters" in captured.err
+        assert "peak RSS" in captured.err
+
+    def test_stats_shows_learner_phases(self, corpus_files, capsys):
+        assert main(
+            ["dtd", "--method", "idtd", "--stats", *corpus_files]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "soa" in err and "rewrite" in err
+        assert main(
+            ["dtd", "--method", "crx", "--stats", *corpus_files]
+        ) == 0
+        assert "crx" in capsys.readouterr().err
+
+    def test_trace_is_valid_jsonl(self, corpus_files, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["dtd", "--trace", str(trace), *corpus_files]) == 0
+        capsys.readouterr()
+        assert validate_trace_file(str(trace)) == []
+
+    def test_trace_streaming_has_all_phases(self, corpus_files, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["dtd", "--streaming", "--method", "idtd",
+             "--trace", str(trace), *corpus_files]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = {
+            record["name"]
+            for record in map(json.loads, trace.read_text().splitlines())
+            if record["type"] == "span"
+        }
+        assert {"parse", "extract", "soa", "rewrite", "emit"} <= names
+
+    def test_parallel_trace_includes_shards(self, corpus_files, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["dtd", "--jobs", "2", "--trace", str(trace), *corpus_files]
+        ) == 0
+        capsys.readouterr()
+        assert validate_trace_file(str(trace)) == []
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        shard_spans = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "shard"
+        ]
+        assert len(shard_spans) == 2
+        assert {r["shard"] for r in shard_spans} == {0, 1}
+
+    def test_stats_off_by_default(self, corpus_files, capsys):
+        assert main(["dtd", *corpus_files]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_directory_source(self, corpus_files, capsys):
+        import os
+
+        directory = os.path.dirname(corpus_files[0])
+        assert main(["dtd", directory]) == 0
+        from_dir = capsys.readouterr().out
+        assert main(["dtd", *corpus_files]) == 0
+        assert capsys.readouterr().out == from_dir
+
+
 class TestExpr:
     def test_idtd_expression(self, capsys):
         assert main(["expr", "a b", "a b b", "b"]) == 0
