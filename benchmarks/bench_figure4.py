@@ -83,7 +83,10 @@ def test_figure4_panel(panel, rng, scale, benchmark):
     # one trial for sampling noise)
     slack = 1.5 / scale.figure4_trials
     for crx_point, idtd_point, rewrite_point in zip(
-        curves["crx"].points, curves["idtd"].points, curves["rewrite"].points
+        curves["crx"].points,
+        curves["idtd"].points,
+        curves["rewrite"].points,
+        strict=True,
     ):
         assert crx_point.fraction >= idtd_point.fraction - slack
         assert idtd_point.fraction >= rewrite_point.fraction - slack

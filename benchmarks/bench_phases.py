@@ -155,3 +155,37 @@ def test_enabled_recorder_cost_reported(corpus_paths, scale):
         {"off_seconds": off, "on_seconds": on_time, "ratio": ratio},
     )
     print(f"\nenabled-recorder cost: {ratio:.3f}x")
+
+
+def test_contracts_overhead_reported(corpus_paths, scale):
+    """What do the debug-mode contracts cost, off and on?
+
+    Disabled contracts compile down to one ``contracts_enabled()``
+    predicate call per guarded site (per element / per rewrite step,
+    never per word), so the disabled path should be indistinguishable
+    from the recorded pre-contracts baseline.  The enabled path pays
+    for real invariant checking (including the deepcopy-based merge
+    commutativity probe) and is informational only.
+    """
+    from repro.contracts import contracts_active
+
+    repeats = 5 if scale.is_full else 3
+    disabled = best_of(
+        lambda: infer(corpus_paths).render(), repeats=repeats
+    ).seconds
+
+    def checked():
+        with contracts_active():
+            return infer(corpus_paths).render()
+
+    enabled = best_of(checked, repeats=repeats).seconds
+    ratio = enabled / disabled if disabled else 1.0
+    update_bench_json(
+        "contracts_overhead",
+        {
+            "disabled_seconds": disabled,
+            "enabled_seconds": enabled,
+            "enabled_over_disabled_ratio": ratio,
+        },
+    )
+    print(f"\ncontracts cost: disabled {disabled:.4f}s, enabled {ratio:.3f}x")

@@ -1,0 +1,154 @@
+"""Repo-specific static analysis for the repro codebase.
+
+A small AST linter enforcing conventions that generic tools cannot
+know about, runnable as ``python -m repro.analysis src/repro`` and as
+a CI step.  The rules:
+
+* **R001** — no internal use of the deprecated legacy entry points
+  (``infer_dtd``, ``infer_parallel``, ``DTDInferencer.infer_from_*``);
+  inside ``src`` everything goes through :func:`repro.api.infer`.
+* **R002** — every ``raise`` uses the :mod:`repro.errors` hierarchy
+  (or an in-module subclass of it); raising bare builtin exceptions
+  loses the CLI exit-code mapping.
+* **R003** — no bare ``except:`` / ``except Exception:`` that swallows
+  without re-raising or bumping a recorder counter.
+* **R004** — no mutation of frozen-dataclass fields via
+  ``object.__setattr__`` outside ``__post_init__``.
+* **R005** — no nondeterminism in the core pipeline: no module-level
+  ``random.*`` calls (inject a ``random.Random``), no wall-clock
+  imports outside :mod:`repro.obs`.
+
+Allowlisting: append ``# lint: allow R00X — reason`` to the offending
+line (or put it on the line directly above).  The pragma must name the
+rule code; a reason is strongly encouraged and every in-tree use has
+one.  Findings serialize to JSON (``--json``) for machine consumption.
+
+Adding a rule: subclass :class:`Rule` in :mod:`repro.analysis.rules`,
+give it a ``code``/``title`` and a ``check`` method yielding
+:class:`Finding` objects, and append it to ``ALL_RULES``.  Fixture
+tests in ``tests/analysis/`` must cover both a firing and a clean
+example (the test harness enforces this for every registered rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .rules import Rule
+
+__all__ = [
+    "ALLOW_PRAGMA",
+    "Finding",
+    "ParsedModule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+#: ``# lint: allow R001`` or ``# lint: allow R001,R003 — reason``.
+ALLOW_PRAGMA = re.compile(r"#\s*lint:\s*allow\s+([A-Z0-9, ]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return dict(asdict(self))
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+
+class ParsedModule:
+    """A parsed source file plus the indexes the rules share.
+
+    The pragma index maps line numbers to the set of rule codes the
+    line (or the line above it) allowlists; rules consult it through
+    :meth:`allowed` so the mechanism is uniform across rules.
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.pragmas: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = ALLOW_PRAGMA.search(line)
+            if match:
+                codes = frozenset(
+                    code.strip()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                )
+                self.pragmas[number] = codes
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is allowlisted at ``line`` (same or previous)."""
+        for candidate in (line, line - 1):
+            codes = self.pragmas.get(candidate)
+            if codes and rule in codes:
+                return True
+        return False
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding | None:
+        """Build a finding for ``node`` unless a pragma allowlists it."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        if self.allowed(rule, line):
+            return None
+        return Finding(
+            rule=rule, path=self.path, line=line, column=column, message=message
+        )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into ``*.py`` files, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def analyze_source(
+    path: str, source: str, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Run the rules over one in-memory module (fixture tests use this)."""
+    from .rules import ALL_RULES
+
+    module = ParsedModule(path, source)
+    active = rules if rules is not None else ALL_RULES
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Run the rules over files and directories; the main entry point."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            analyze_source(str(path), path.read_text(encoding="utf-8"), rules)
+        )
+    return findings

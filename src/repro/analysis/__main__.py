@@ -1,0 +1,91 @@
+"""CLI for the repo linter: ``python -m repro.analysis [PATHS...]``.
+
+Exit codes follow the repo convention: ``0`` clean, ``1`` findings (or
+bad usage), ``2`` internal failure of the linter itself.  ``--json``
+switches the report to machine-readable JSON (a list of finding
+objects plus a summary), which is what CI archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from . import analyze_paths
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific AST lint rules (R001-R005) for repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.title}")
+        return 0
+    rules = list(ALL_RULES)
+    if args.rules is not None:
+        wanted = {code.strip() for code in args.rules.split(",") if code.strip()}
+        known = {rule.code for rule in ALL_RULES}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 1
+        rules = [rule for rule in ALL_RULES if rule.code in wanted]
+    try:
+        findings = analyze_paths(args.paths, rules)
+    except (OSError, SyntaxError) as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        report = {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+            "rules": [rule.code for rule in rules],
+        }
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,316 @@
+"""The rule implementations of :mod:`repro.analysis`.
+
+Each rule is a stateless object with a ``code``, a ``title`` and a
+``check(module)`` generator.  Rules work purely on the AST plus the
+shared pragma index in :class:`~repro.analysis.ParsedModule`; none of
+them import the modules they inspect.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from . import Finding, ParsedModule
+
+#: Entry points superseded by :func:`repro.api.infer`.  Referencing any
+#: of these by name inside src is a regression to the pre-façade API.
+LEGACY_NAMES = frozenset({"infer_dtd", "infer_parallel"})
+LEGACY_ATTRIBUTES = frozenset({"infer_from_evidence", "infer_from_streaming"})
+
+#: Builtin exceptions that must not be raised directly (R002); the
+#: repro.errors hierarchy (or a subclass) carries the exit-code
+#: contract.  Control-flow and protocol exceptions stay allowed.
+FORBIDDEN_RAISES = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "RuntimeError",
+        "TypeError",
+        "ValueError",
+    }
+)
+
+#: Packages forming the deterministic core pipeline (R005).  datagen,
+#: evaluation, baselines and the CLI legitimately use randomness or
+#: wall clocks; repro.obs owns all timing.
+CORE_PACKAGE_MARKERS = (
+    "repro/automata/",
+    "repro/core/",
+    "repro/learning/",
+    "repro/regex/",
+    "repro/runtime/",
+    "repro/xmlio/",
+)
+
+#: ``random`` module functions that are fine to call anywhere: seeded
+#: constructors create injected generators rather than using hidden
+#: global state.
+ALLOWED_RANDOM_ATTRIBUTES = frozenset({"Random", "SystemRandom"})
+
+WALL_CLOCK_NAMES = frozenset(
+    {"time", "perf_counter", "monotonic", "process_time", "time_ns"}
+)
+
+
+def _function_stack(tree: ast.AST) -> dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None]:
+    """Map every node to its innermost enclosing function definition."""
+    enclosing: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None] = {}
+
+    def visit(
+        node: ast.AST, function: ast.FunctionDef | ast.AsyncFunctionDef | None
+    ) -> None:
+        enclosing[node] = function
+        inner = (
+            node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else function
+        )
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(tree, None)
+    return enclosing
+
+
+class Rule:
+    """Base class: a code, a human title, and an AST check."""
+
+    code: str = ""
+    title: str = ""
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError  # lint: allow R002 — abstract-method protocol
+
+    def _emit(
+        self, module: ParsedModule, node: ast.AST, message: str
+    ) -> Iterator[Finding]:
+        finding = module.finding(self.code, node, message)
+        if finding is not None:
+            yield finding
+
+
+class NoLegacyEntryPoints(Rule):
+    """R001: inside src, all inference goes through repro.api.infer."""
+
+    code = "R001"
+    title = "no internal use of deprecated legacy entry points"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        defined_here = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        is_package_init = module.path.endswith("__init__.py")
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in LEGACY_NAMES
+                and node.id not in defined_here
+            ):
+                yield from self._emit(
+                    module,
+                    node,
+                    f"deprecated entry point {node.id!r} used internally; "
+                    "call repro.api.infer instead",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in LEGACY_ATTRIBUTES
+                and node.attr not in defined_here
+            ):
+                yield from self._emit(
+                    module,
+                    node,
+                    f"deprecated entry point .{node.attr}() used internally; "
+                    "call repro.api.infer instead",
+                )
+            elif isinstance(node, ast.ImportFrom) and not is_package_init:
+                # Package __init__ modules re-export the deprecated
+                # names for backwards compatibility; importing them
+                # anywhere else invites internal use.
+                for alias in node.names:
+                    if alias.name in LEGACY_NAMES:
+                        yield from self._emit(
+                            module,
+                            node,
+                            f"import of deprecated entry point {alias.name!r}; "
+                            "call repro.api.infer instead",
+                        )
+
+
+class TypedRaises(Rule):
+    """R002: raised exceptions carry the repro.errors exit-code contract."""
+
+    code = "R002"
+    title = "raise repro.errors exceptions, not bare builtins"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in FORBIDDEN_RAISES:
+                yield from self._emit(
+                    module,
+                    node,
+                    f"raises builtin {exc.id}; use the repro.errors "
+                    "hierarchy (UsageError / CorpusError / InternalError) "
+                    "or a subclass so the exit-code mapping applies",
+                )
+
+
+class NoSilentSwallow(Rule):
+    """R003: broad handlers must re-raise or count what they swallow."""
+
+    code = "R003"
+    title = "no bare/broad except that silently swallows"
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        return any(
+            isinstance(name, ast.Name)
+            and name.id in ("Exception", "BaseException")
+            for name in names
+        )
+
+    @staticmethod
+    def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "count"
+            ):
+                return True
+        return False
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_broad(node) and not self._handles_visibly(node):
+                label = "bare except" if node.type is None else "except Exception"
+                yield from self._emit(
+                    module,
+                    node,
+                    f"{label} swallows without re-raising or bumping a "
+                    "recorder counter; narrow the exception type, re-raise, "
+                    "or record the swallow",
+                )
+
+
+class NoFrozenMutation(Rule):
+    """R004: frozen dataclasses stay frozen outside __post_init__."""
+
+    code = "R004"
+    title = "no object.__setattr__ outside __post_init__"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        enclosing = _function_stack(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+            ):
+                continue
+            function = enclosing.get(node)
+            if function is not None and function.name == "__post_init__":
+                continue
+            yield from self._emit(
+                module,
+                node,
+                "object.__setattr__ mutates a frozen dataclass outside "
+                "__post_init__; construct a new instance instead",
+            )
+
+
+class DeterministicCore(Rule):
+    """R005: the core pipeline is deterministic and clock-free."""
+
+    code = "R005"
+    title = "no hidden randomness or wall clocks in the core pipeline"
+
+    @staticmethod
+    def _in_core(module: ParsedModule) -> bool:
+        normalized = module.path.replace("\\", "/")
+        return any(marker in normalized for marker in CORE_PACKAGE_MARKERS)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        in_core = self._in_core(module)
+        for node in ast.walk(module.tree):
+            # Global-state randomness is wrong everywhere in src: even
+            # datagen seeds explicit random.Random instances.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr not in ALLOWED_RANDOM_ATTRIBUTES
+            ):
+                yield from self._emit(
+                    module,
+                    node,
+                    f"random.{node.func.attr}() uses the shared global RNG; "
+                    "inject a seeded random.Random instead",
+                )
+            if not in_core:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield from self._emit(
+                            module,
+                            node,
+                            "core module imports the time module; timing "
+                            "belongs in repro.obs",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                clocks = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in WALL_CLOCK_NAMES
+                ]
+                if clocks:
+                    yield from self._emit(
+                        module,
+                        node,
+                        f"core module imports wall-clock function(s) "
+                        f"{', '.join(clocks)} from time; timing belongs in "
+                        "repro.obs",
+                    )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    NoLegacyEntryPoints(),
+    TypedRaises(),
+    NoSilentSwallow(),
+    NoFrozenMutation(),
+    DeterministicCore(),
+)

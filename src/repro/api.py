@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Union
+from collections.abc import Iterable
 
 from .core.inference import (
     DEFAULT_SPARSE_THRESHOLD,
@@ -50,7 +50,7 @@ from .xmlio.parser import parse_document, parse_file
 from .xmlio.tree import Document
 from .xmlio.xsd import dtd_to_xsd
 
-Source = Union[Document, str, os.PathLike, Iterable]
+Source = Document | str | os.PathLike[str] | Iterable["Document | str | os.PathLike[str]"]
 
 __all__ = ["InferenceConfig", "InferenceResult", "infer"]
 

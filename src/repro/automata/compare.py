@@ -12,7 +12,7 @@ These checks are exact and power both the test suite (e.g. Theorem 2's
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..regex.ast import Regex
 from ..regex.glushkov import glushkov

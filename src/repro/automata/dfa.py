@@ -9,6 +9,7 @@ path (Glushkov simulation vs derivatives vs minimal-DFA isomorphism).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from ..regex.ast import Regex
@@ -34,7 +35,7 @@ class DFA:
             return -1
         return self.transitions.get((state, symbol), -1)
 
-    def accepts(self, word) -> bool:
+    def accepts(self, word: Iterable[str]) -> bool:
         state = 0
         for symbol in word:
             state = self.step(state, symbol)

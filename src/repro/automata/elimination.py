@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Literal
 
+from ..errors import CorpusError, UsageError
 from ..regex.ast import Opt, Regex, Star, Sym, concat, disj
 from .soa import SOA
 
@@ -74,13 +75,13 @@ def state_elimination(
     point of experiment E1.
     """
     if soa.accepts_empty:
-        raise ValueError(
+        raise UsageError(
             "state elimination here targets ε-free SOA languages; "
             "handle accepts_empty at the DTD layer"
         )
     trimmed = soa.trimmed()
     if not trimmed.symbols:
-        raise ValueError("empty language: no accepting path in the SOA")
+        raise CorpusError("empty language: no accepting path in the SOA")
 
     ids = {symbol: index for index, symbol in enumerate(sorted(trimmed.symbols))}
     edges: dict[tuple[int, int], _Label] = {}
@@ -112,7 +113,7 @@ def state_elimination(
             generator = rng if rng is not None else random
             state = generator.choice(sorted(remaining))
         else:  # pragma: no cover - guarded by the Literal type
-            raise ValueError(f"unknown elimination order {order!r}")
+            raise UsageError(f"unknown elimination order {order!r}")
         remaining.discard(state)
 
         loop = edges.pop((state, state), None)
@@ -133,5 +134,5 @@ def state_elimination(
 
     final = edges.get((_SOURCE, _SINK))
     if final is None:
-        raise ValueError("the SOA accepts only ε, which no RE can denote")
+        raise CorpusError("the SOA accepts only ε, which no RE can denote")
     return final

@@ -18,8 +18,9 @@ unlabeled endpoints (:data:`SOURCE` and :data:`SINK`) plus the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
+from ..errors import UsageError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, Sym
 from ..regex.language import matches
@@ -129,7 +130,7 @@ class GFA:
 
     def relabel(self, node: int, label: Regex) -> None:
         if node in (SOURCE, SINK):
-            raise ValueError("the source and sink carry no label")
+            raise UsageError("the source and sink carry no label")
         self.labels[node] = label
 
     def merge(self, nodes: Sequence[int], label: Regex) -> int:
@@ -158,6 +159,7 @@ class GFA:
 
     def _check_endpoint(self, node: int) -> None:
         if node not in self._out:
+            # lint: allow R002 — mapping-lookup protocol, callers catch KeyError
             raise KeyError(f"unknown node {node}")
 
     # -- structure ------------------------------------------------------------
@@ -194,7 +196,7 @@ class GFA:
 
     def final_regex(self) -> Regex:
         if not self.is_final():
-            raise ValueError("GFA is not final")
+            raise UsageError("GFA is not final")
         (label,) = self.labels.values()
         return label
 

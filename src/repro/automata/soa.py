@@ -20,13 +20,14 @@ operation here linear or near-linear.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
+from ..errors import CorpusError, UsageError
 from ..regex.ast import Regex
 from ..regex.glushkov import glushkov
 
 
-class NotSingleOccurrenceError(ValueError):
+class NotSingleOccurrenceError(UsageError):
     """Raised when an expression with repeated symbols is given to
     a construction that requires single occurrence."""
 
@@ -59,7 +60,7 @@ class SOA:
         endpoints = {a for edge in self.edges for a in edge}
         unknown = (self.initial | self.final | endpoints) - self.symbols
         if unknown:
-            raise ValueError(f"edge/initial/final symbols not in states: {unknown}")
+            raise CorpusError(f"edge/initial/final symbols not in states: {unknown}")
 
     # -- basic structure -----------------------------------------------------
 
@@ -105,7 +106,7 @@ class SOA:
             return self.accepts_empty
         if word[0] not in self.initial:
             return False
-        for previous, current in zip(word, word[1:]):
+        for previous, current in zip(word, word[1:], strict=False):
             if (previous, current) not in self.edges:
                 return False
         return word[-1] in self.final
@@ -131,7 +132,7 @@ class SOA:
         )
 
     @staticmethod
-    def _reach(seeds: Iterable[str], step: "callable") -> set[str]:
+    def _reach(seeds: Iterable[str], step: Callable[[str], Iterable[str]]) -> set[str]:
         seen = set(seeds)
         frontier = list(seeds)
         while frontier:

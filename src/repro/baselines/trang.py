@@ -26,9 +26,10 @@ This module follows that description:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..automata.soa import SOA
+from ..errors import CorpusError
 from ..learning.tinf import tinf
 from ..regex.ast import Opt, Plus, Regex, Star, concat, disj, syms
 from ..regex.normalize import simplify
@@ -269,7 +270,7 @@ def trang(words: Sequence[Word]) -> Regex:
     would emit ``EMPTY`` at the DTD layer instead of an expression).
     """
     if not any(words):
-        raise ValueError("cannot infer an expression from empty content only")
+        raise CorpusError("cannot infer an expression from empty content only")
     soa = tinf(words)
     components = [c for c in _components(soa) if c]
     if len(components) > 1 and _contiguous_presentation(words, components):

@@ -30,15 +30,21 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
+from ..errors import CorpusError, InternalError
 from ..regex.ast import Opt, Plus, Regex, Sym, concat, disj
-from ..regex.glushkov import glushkov
+from ..regex.glushkov import Glushkov, glushkov
 
 Word = tuple[str, ...]
 
 
-class XtractCapacityError(RuntimeError):
+#: A folded sequence: plain symbols interleaved with ``("+", body)``
+#: markers produced by repeat folding.
+_Folded = tuple["str | tuple[str, tuple[str, ...]]", ...]
+
+
+class XtractCapacityError(InternalError):
     """The MDL stage exceeded its work budget (cf. the >1000-string
     crashes reported in Section 8)."""
 
@@ -51,7 +57,7 @@ DEFAULT_CAPACITY = 1000
 # -- stage 1: generalization ---------------------------------------------------
 
 
-def _fold_once(word: Word, max_period: int = 4) -> set[tuple]:
+def _fold_once(word: Word, max_period: int = 4) -> set[_Folded]:
     """All single-fold generalisations of ``word``.
 
     A fold replaces a maximal run ``v^k`` (k >= 2, ``|v| <= max_period``)
@@ -84,7 +90,7 @@ def _fold_once(word: Word, max_period: int = 4) -> set[tuple]:
     return results
 
 
-def _to_regex(sequence: tuple) -> Regex:
+def _to_regex(sequence: _Folded) -> Regex:
     parts: list[Regex] = []
     for item in sequence:
         if isinstance(item, tuple) and len(item) == 2 and item[0] == "+":
@@ -104,10 +110,10 @@ def generalize(word: Word, rounds: int = 3) -> list[Regex]:
     """
     if not word:
         return []
-    sequences: set[tuple] = {tuple(word)}
-    frontier: set[tuple] = {tuple(word)}
+    sequences: set[_Folded] = {tuple(word)}
+    frontier: set[_Folded] = {tuple(word)}
     for _ in range(rounds):
-        new: set[tuple] = set()
+        new: set[_Folded] = set()
         for sequence in frontier:
             plain = all(not isinstance(item, tuple) for item in sequence)
             if plain:
@@ -120,7 +126,7 @@ def generalize(word: Word, rounds: int = 3) -> list[Regex]:
     return [_to_regex(sequence) for sequence in sorted(sequences, key=_seq_key)]
 
 
-def _seq_key(sequence: tuple) -> tuple:
+def _seq_key(sequence: _Folded) -> tuple[tuple[str, ...], ...]:
     return tuple(
         ("+",) + item[1] if isinstance(item, tuple) else (item,)
         for item in sequence
@@ -167,7 +173,7 @@ def _encoding_cost(candidate: Regex, word: Word) -> float | None:
     return cost
 
 
-def _accepting(automaton, state: frozenset[int] | None) -> bool:
+def _accepting(automaton: Glushkov, state: frozenset[int] | None) -> bool:
     if state is None:
         return automaton.nullable
     return any(p in automaton.last for p in state)
@@ -309,7 +315,7 @@ def xtract(
             seen.add(key)
             distinct.append(key)
     if not distinct:
-        raise ValueError("cannot infer an expression from empty content only")
+        raise CorpusError("cannot infer an expression from empty content only")
     if len(distinct) > capacity:
         raise XtractCapacityError(
             f"{len(distinct)} distinct strings exceed the capacity of {capacity}"

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
+from typing import NoReturn
 
 from .api import InferenceConfig, infer
+from .contracts import set_contracts
 from .core.crx import crx
 from .core.idtd import idtd
 from .errors import EXIT_INTERNAL, EXIT_OK, EXIT_USAGE, ReproError, UsageError, exit_code_for
@@ -35,6 +37,13 @@ from .xmlio.validate import validate
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
+    if args.check:
+        import os
+
+        # Exported as well as set in-process so that --jobs worker
+        # processes (fresh interpreters) also run with contracts on.
+        os.environ["REPRO_CHECKS"] = "1"
+        set_contracts(True)
     wants_stats = args.stats or args.trace is not None
     recorder = StatsRecorder() if wants_stats else NULL_RECORDER
     config = InferenceConfig(
@@ -134,7 +143,7 @@ class _ArgumentParser(argparse.ArgumentParser):
     """argparse exits 2 on bad usage; here 2 is reserved for internal
     errors, so usage problems exit 1 like every other input error."""
 
-    def error(self, message: str) -> None:  # type: ignore[override]
+    def error(self, message: str) -> NoReturn:
         self.print_usage(sys.stderr)
         self.exit(EXIT_USAGE, f"{self.prog}: error: {message}\n")
 
@@ -143,7 +152,7 @@ def _positive_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
@@ -198,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard the corpus across N worker processes and merge the "
         "learner states (map-reduce; implies --streaming)",
+    )
+    infer.add_argument(
+        "--check",
+        action="store_true",
+        help="enable debug-mode invariant contracts (repro.contracts) for "
+        "this run; equivalent to REPRO_CHECKS=1",
     )
     infer.add_argument(
         "--stats",
@@ -275,6 +290,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         prefix = "internal error" if code == EXIT_INTERNAL else "error"
         print(f"repro-infer: {prefix}: {exc}", file=sys.stderr)
         return code
+    # lint: allow R003 — last-resort handler: reports the error and exits 2
     except Exception as exc:
         print(
             f"repro-infer: internal error: {type(exc).__name__}: {exc}",

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
+from ..contracts import check_emitted_chare, contracts_enabled
 from ..errors import CorpusError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, Star, concat, disj, syms
@@ -93,7 +94,7 @@ class CrxState:
         self.word_count += count
         counts = Counter(word)
         self.alphabet.update(counts)
-        self.arrows.update(zip(word, word[1:]))
+        self.arrows.update(zip(word, word[1:], strict=False))
         self.profiles[frozenset(counts.items())] += count
 
     def add_all(self, words: Iterable[Word]) -> None:
@@ -291,7 +292,7 @@ class CrxState:
             for index, members in enumerate(ordered)
             for symbol in members
         }
-        minima = [None] * len(ordered)
+        minima: list[int | None] = [None] * len(ordered)
         maxima = [0] * len(ordered)
         for profile, _multiplicity in self.profiles.items():
             totals = [0] * len(ordered)
@@ -337,7 +338,10 @@ class CrxState:
             raise CorpusError(
                 "cannot infer an expression from empty content only"
             )
-        return concat(*factors)
+        regex = concat(*factors)
+        if contracts_enabled():
+            check_emitted_chare(regex, context="crx")
+        return regex
 
 
 def crx(words: Iterable[Word], recorder: Recorder = NULL_RECORDER) -> Regex:

@@ -20,10 +20,11 @@ state count and therefore guarantees termination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..automata.gfa import GFA, SINK, SOURCE
 from ..automata.soa import SOA
+from ..contracts import check_emitted_sore, check_gfa, contracts_enabled
 from ..errors import CorpusError, InternalError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Plus, Regex, disj
@@ -170,8 +171,12 @@ def idtd_from_soa(
         if repair is not None:
             repair.apply(gfa)
             repairs.append(repair)
+            if contracts_enabled():
+                check_gfa(gfa, context=f"repair.{repair.rule}")
             recorder.count("repair.firings")
         elif _contract_scc(gfa):
+            if contracts_enabled():
+                check_gfa(gfa, context="repair.scc_contraction")
             recorder.count("repair.scc_contractions")
         else:
             # An acyclic stuck graph with no applicable repair: connect
@@ -185,6 +190,8 @@ def idtd_from_soa(
         result = rewrite_gfa(gfa, order=order, recorder=recorder)
         steps.extend(result.steps)
     regex = contract_stars(simplify(gfa.final_regex()))
+    if contracts_enabled():
+        check_emitted_sore(regex, context="idtd")
     return IdtdResult(regex=regex, steps=steps, repairs=repairs)
 
 

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Literal, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Literal
 
+from ..contracts import check_content_model, contracts_enabled
 from ..errors import CorpusError, UsageError
 from ..learning.tinf import tinf
 from ..obs.recorder import NULL_RECORDER, Recorder
@@ -140,7 +142,9 @@ class DTDInferencer:
             return normalize(Opt(regex))
         return regex
 
-    def _content_model(self, evidence: ElementEvidence):
+    def _content_model(
+        self, evidence: ElementEvidence
+    ) -> Children | Mixed | Empty:
         sample = evidence.child_sequences
         has_children = sample.nonempty_total > 0
         if evidence.has_text and has_children:
@@ -160,10 +164,14 @@ class DTDInferencer:
             return Empty()
         regex, method = self._learn_regex(evidence.name, sample)
         regex = self._wrap_optional(regex, sample.has_empty())
+        if contracts_enabled():
+            check_content_model(regex, evidence.name)
         self.report.method_used[evidence.name] = method
         return Children(regex=regex)
 
-    def _content_model_streaming(self, evidence: StreamingElementEvidence):
+    def _content_model_streaming(
+        self, evidence: StreamingElementEvidence
+    ) -> Children | Mixed | Empty:
         has_children = evidence.nonempty_count > 0
         if evidence.has_text and has_children:
             self.report.method_used[evidence.name] = "mixed"
@@ -189,6 +197,8 @@ class DTDInferencer:
             with recorder.span("rewrite", element=evidence.name):
                 regex = evidence.soa.infer(recorder=recorder)
         regex = self._wrap_optional(regex, evidence.empty_count > 0)
+        if contracts_enabled():
+            check_content_model(regex, evidence.name)
         self.report.method_used[evidence.name] = method
         return Children(regex=regex)
 
@@ -308,7 +318,7 @@ def apply_support_threshold(
 def infer_dtd(
     documents: Iterable[Document],
     method: Method = "auto",
-    **kwargs,
+    **kwargs: Any,
 ) -> Dtd:
     """Deprecated one-shot convenience: use :func:`repro.api.infer`."""
     _warn_deprecated("infer_dtd", "repro.api.infer")

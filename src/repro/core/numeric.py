@@ -22,8 +22,9 @@ The resulting :class:`~repro.regex.ast.Repeat` nodes render as
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
+from ..errors import InternalError, UsageError
 from ..regex.ast import (
     Concat,
     Disj,
@@ -57,7 +58,7 @@ def _first_symbols(node: Regex) -> frozenset[str]:
             if not part.nullable():
                 break
         return frozenset(first)
-    raise TypeError(f"unknown node {node!r}")
+    raise InternalError(f"unknown node {node!r}")
 
 
 class _CountingMatcher:
@@ -129,7 +130,7 @@ class _CountingMatcher:
             if count < node.low:
                 raise _NoMatch
             return index
-        raise TypeError(f"unknown node {node!r}")
+        raise InternalError(f"unknown node {node!r}")
 
 
 def annotate_numeric(
@@ -149,7 +150,7 @@ def annotate_numeric(
     greedy iteration counting would be ambiguous.
     """
     if not is_single_occurrence(regex):
-        raise ValueError(
+        raise UsageError(
             "numerical annotation requires a single occurrence expression"
         )
     matcher = _CountingMatcher(regex)
@@ -179,6 +180,6 @@ def annotate_numeric(
             return Opt(rebuild(node.inner))
         if isinstance(node, Repeat):
             return Repeat(rebuild(node.inner), node.low, node.high)
-        raise TypeError(f"unknown node {node!r}")
+        raise InternalError(f"unknown node {node!r}")
 
     return rebuild(regex)

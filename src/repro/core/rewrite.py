@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..automata.gfa import GFA, SINK, SOURCE, Closure
 from ..automata.soa import SOA
+from ..contracts import check_emitted_sore, check_gfa, contracts_enabled
+from ..errors import InternalError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Plus, Regex, disj
 from ..regex.normalize import contract_stars, normalize, simplify
@@ -312,11 +314,11 @@ def apply_application(gfa: GFA, application: Application) -> None:
         # the concatenation), while a back edge rn -> r1, if present,
         # becomes a self-loop — which merge() produces from any
         # remaining internal edge.
-        for tail, head in zip(nodes, nodes[1:]):
+        for tail, head in zip(nodes, nodes[1:], strict=False):
             gfa.remove_edge(tail, head)
         gfa.merge(list(nodes), _normalize_label(label))
     else:  # pragma: no cover - rule names are internal
-        raise ValueError(f"unknown rule {rule!r}")
+        raise InternalError(f"unknown rule {rule!r}")
 
 
 # -- the driver ---------------------------------------------------------------
@@ -347,12 +349,16 @@ def rewrite_gfa(
             break
         apply_application(gfa, application)
         steps.append(application)
+        if contracts_enabled():
+            check_gfa(gfa, context=f"rewrite.{application.rule}")
         if recorder.enabled:
             recorder.count("rewrite.steps")
             recorder.count(f"rewrite.{application.rule}")
     regex = None
     if gfa.is_final():
         regex = contract_stars(simplify(gfa.final_regex()))
+        if contracts_enabled():
+            check_emitted_sore(regex, context="rewrite")
     return RewriteResult(regex=regex, gfa=gfa, steps=steps)
 
 

@@ -274,11 +274,11 @@ def table1_row(element: str) -> Table1Row:
     for row in TABLE1:
         if row.element == element:
             return row
-    raise KeyError(element)
+    raise KeyError(element)  # lint: allow R002 — mapping-lookup protocol
 
 
 def table2_row(element: str) -> Table2Row:
     for row in TABLE2:
         if row.element == element:
             return row
-    raise KeyError(element)
+    raise KeyError(element)  # lint: allow R002 — mapping-lookup protocol

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from ..errors import InternalError
 from ..regex.ast import (
     Concat,
     Disj,
@@ -77,7 +78,7 @@ def random_word(
                 for _ in range(rng.randint(node.low, high))
                 for s in build(node.inner)
             ]
-        raise TypeError(f"unknown regex node: {node!r}")
+        raise InternalError(f"unknown regex node: {node!r}")
 
     return tuple(build(regex))
 

@@ -11,8 +11,9 @@ generation always terminates even on recursive DTDs).
 from __future__ import annotations
 
 import random
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
+from ..errors import CorpusError
 from ..regex.ast import Regex
 from ..xmlio.dtd import Any, Children, Dtd, Empty, Mixed
 from ..xmlio.tree import Document, Element
@@ -46,7 +47,7 @@ class XmlGenerator:
         repeat_continue: float = 0.4,
     ) -> None:
         if dtd.start is None or dtd.start not in dtd.elements:
-            raise ValueError("the DTD needs a declared start element")
+            raise CorpusError("the DTD needs a declared start element")
         self.dtd = dtd
         self.rng = rng
         self.max_depth = max_depth

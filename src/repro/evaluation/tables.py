@@ -8,7 +8,7 @@ and EXPERIMENTS.md can quote the output verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 
 @dataclass
@@ -38,10 +38,10 @@ class Table:
         if self.title:
             lines.append(self.title)
             lines.append("=" * len(self.title))
-        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
         lines.append("  ".join("-" * w for w in widths))
         for row in rows:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def show(self) -> None:

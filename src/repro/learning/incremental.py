@@ -17,7 +17,7 @@ callers can skip re-deriving when new data adds no new evidence.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..automata.soa import SOA
 from ..core.crx import CrxState, quantifier_for
@@ -59,7 +59,7 @@ class IncrementalSOA:
             if word[-1] not in soa.final:
                 soa.final.add(word[-1])
                 changed = True
-            for gram in zip(word, word[1:]):
+            for gram in zip(word, word[1:], strict=False):
                 if gram not in soa.edges:
                     soa.edges.add(gram)
                     changed = True
@@ -130,7 +130,7 @@ class IncrementalCRX:
     def add(self, word: Word) -> bool:
         state = self.state
         new_structure = any(symbol not in state.alphabet for symbol in word) or any(
-            gram not in state.arrows for gram in zip(word, word[1:])
+            gram not in state.arrows for gram in zip(word, word[1:], strict=False)
         )
         state.add(word)
         if new_structure or self._summaries is None:

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..automata.soa import SOA
 from ..core.idtd import IdtdResult, idtd_from_soa
 from ..core.rewrite import rewrite
+from ..errors import CorpusError
 from ..regex.ast import Regex
 
 Word = Sequence[str]
@@ -35,10 +36,10 @@ class WeightedSOA:
     """A SOA whose parts carry support counts (words contributing them)."""
 
     soa: SOA
-    edge_support: Counter = field(default_factory=Counter)
-    initial_support: Counter = field(default_factory=Counter)
-    final_support: Counter = field(default_factory=Counter)
-    symbol_support: Counter = field(default_factory=Counter)
+    edge_support: Counter[tuple[str, str]] = field(default_factory=Counter)
+    initial_support: Counter[str] = field(default_factory=Counter)
+    final_support: Counter[str] = field(default_factory=Counter)
+    symbol_support: Counter[str] = field(default_factory=Counter)
     word_count: int = 0
 
     @classmethod
@@ -61,7 +62,7 @@ class WeightedSOA:
         self.final_support[word[-1]] += 1
         for symbol in set(word):
             self.symbol_support[symbol] += 1
-        for gram in zip(word, word[1:]):
+        for gram in zip(word, word[1:], strict=False):
             soa.edges.add(gram)
             self.edge_support[gram] += 1
 
@@ -146,7 +147,7 @@ def idtd_denoised(
         weighted = weighted.prune_symbols(symbol_threshold)
         dropped_symbols = sorted(before - weighted.soa.symbols)
     if not weighted.soa.symbols:
-        raise ValueError(
+        raise CorpusError(
             "all element names fell below the support threshold; "
             "nothing left to infer from"
         )
@@ -185,7 +186,7 @@ def idtd_denoised(
         dropped_edges.append(victim)
         soa = soa.trimmed()
         if not soa.symbols:
-            raise ValueError(
+            raise CorpusError(
                 "edge pruning disconnected the automaton; "
                 "lower the edge threshold"
             )

@@ -11,7 +11,10 @@ contain all alphabet symbols of the target expressions").
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence, TypeVar
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
+
+from ..errors import UsageError
 
 T = TypeVar("T")
 
@@ -27,7 +30,7 @@ def reservoir_sample(
     all returned.
     """
     if size < 0:
-        raise ValueError("sample size must be non-negative")
+        raise UsageError("sample size must be non-negative")
     reservoir: list[T] = []
     for index, item in enumerate(items):
         if index < size:

@@ -19,9 +19,10 @@ language) is provided for the ablation experiments; 2T-INF is
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..automata.soa import SOA
+from ..contracts import check_soa, contracts_enabled
 from ..errors import UsageError
 from ..obs.recorder import NULL_RECORDER, Recorder
 
@@ -44,7 +45,7 @@ def sample_two_grams(
         initial.add(word[0])
         final.add(word[-1])
         alphabet.update(word)
-        grams.update(zip(word, word[1:]))
+        grams.update(zip(word, word[1:], strict=False))
     return initial, final, grams, alphabet, has_empty
 
 
@@ -58,13 +59,16 @@ def tinf(words: Iterable[Word], recorder: Recorder = NULL_RECORDER) -> SOA:
     if recorder.enabled:
         recorder.count("soa.symbols", len(alphabet))
         recorder.count("soa.edges", len(grams))
-    return SOA(
+    soa = SOA(
         symbols=alphabet,
         initial=initial,
         final=final,
         edges=grams,
         accepts_empty=has_empty,
     )
+    if contracts_enabled():
+        check_soa(soa, context="tinf")
+    return soa
 
 
 class KTestableAutomaton:

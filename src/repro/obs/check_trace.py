@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Iterable
+from collections.abc import Iterable
 
 _SPAN_KEYS = {
     "type",
@@ -33,7 +33,7 @@ _SPAN_KEYS = {
 }
 
 
-def _check_span(obj: dict, line_number: int) -> list[str]:
+def _check_span(obj: dict[str, object], line_number: int) -> list[str]:
     errors: list[str] = []
     missing = _SPAN_KEYS - obj.keys()
     if missing:
@@ -58,7 +58,7 @@ def _check_span(obj: dict, line_number: int) -> list[str]:
     return errors
 
 
-def _check_summary(obj: dict, line_number: int) -> list[str]:
+def _check_summary(obj: dict[str, object], line_number: int) -> list[str]:
     errors: list[str] = []
     counters = obj.get("counters")
     if not isinstance(counters, dict) or not all(

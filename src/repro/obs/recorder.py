@@ -30,7 +30,8 @@ import resource
 import sys
 import time
 from collections import Counter
-from typing import Any, ContextManager, Iterator, Protocol, runtime_checkable
+from collections.abc import Iterator
+from typing import Any, ContextManager, Protocol, runtime_checkable
 
 #: A picklable plain-dict dump of a recorder: ``{"spans": [...],
 #: "counters": {...}, "memory": [...]}``.  See :meth:`StatsRecorder.snapshot`.
@@ -116,7 +117,7 @@ class _SpanContext:
 
     __slots__ = ("_recorder", "_record")
 
-    def __init__(self, recorder: "StatsRecorder", record: dict) -> None:
+    def __init__(self, recorder: "StatsRecorder", record: dict[str, Any]) -> None:
         self._recorder = recorder
         self._record = record
 
@@ -144,7 +145,7 @@ class StatsRecorder:
         self.counters: Counter[str] = Counter()
         self.memory_samples: list[dict[str, Any]] = []
         self._stack: list[dict[str, Any]] = []
-        self._accumulated: dict[tuple, list[float]] = {}
+        self._accumulated: dict[tuple[object, ...], list[float]] = {}
         self._last_memory_sample = -1.0
 
     # -- clock ----------------------------------------------------------------

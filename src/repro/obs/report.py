@@ -18,7 +18,8 @@ totals can legitimately sum to more than elapsed wall-clock.
 from __future__ import annotations
 
 import json
-from typing import Any, Iterator, TextIO
+from collections.abc import Iterator
+from typing import Any, TextIO
 
 from .recorder import Snapshot
 

@@ -20,7 +20,9 @@ for equality up to commutativity of ``+`` and operator normal forms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
+
+from ..errors import UsageError
 
 
 class Regex:
@@ -108,7 +110,7 @@ class Sym(Regex):
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("alphabet symbols must be non-empty strings")
+            raise UsageError("alphabet symbols must be non-empty strings")
 
     def children(self) -> tuple[Regex, ...]:
         return ()
@@ -128,9 +130,9 @@ class Concat(Regex):
 
     def __post_init__(self) -> None:
         if len(self.parts) < 2:
-            raise ValueError("Concat requires at least two parts; use concat()")
+            raise UsageError("Concat requires at least two parts; use concat()")
         if any(isinstance(part, Concat) for part in self.parts):
-            raise ValueError(
+            raise UsageError(
                 "Concat parts must be flattened; build with concat()"
             )
 
@@ -152,9 +154,9 @@ class Disj(Regex):
 
     def __post_init__(self) -> None:
         if len(self.options) < 2:
-            raise ValueError("Disj requires at least two options; use disj()")
+            raise UsageError("Disj requires at least two options; use disj()")
         if any(isinstance(option, Disj) for option in self.options):
-            raise ValueError(
+            raise UsageError(
                 "Disj options must be flattened; build with disj()"
             )
 
@@ -233,9 +235,9 @@ class Repeat(Regex):
 
     def __post_init__(self) -> None:
         if self.low < 0:
-            raise ValueError("Repeat lower bound must be >= 0")
+            raise UsageError("Repeat lower bound must be >= 0")
         if self.high is not None and self.high < max(self.low, 1):
-            raise ValueError("Repeat upper bound must be >= max(low, 1)")
+            raise UsageError("Repeat upper bound must be >= max(low, 1)")
 
     def children(self) -> tuple[Regex, ...]:
         return (self.inner,)
@@ -273,7 +275,7 @@ def concat(*parts: Regex) -> Regex:
         else:
             flat.append(part)
     if not flat:
-        raise ValueError("concat() of zero expressions: epsilon is not an RE")
+        raise UsageError("concat() of zero expressions: epsilon is not an RE")
     if len(flat) == 1:
         return flat[0]
     return Concat(tuple(flat))
@@ -294,7 +296,7 @@ def disj(*options: Regex) -> Regex:
                 seen.add(part)
                 flat.append(part)
     if not flat:
-        raise ValueError("disj() of zero expressions: the empty language is not an RE")
+        raise UsageError("disj() of zero expressions: the empty language is not an RE")
     if len(flat) == 1:
         return flat[0]
     return Disj(tuple(flat))
@@ -315,4 +317,4 @@ def chain_factor(names: Iterable[str], quantifier: str = "") -> Regex:
         return Plus(base)
     if quantifier == "*":
         return Star(base)
-    raise ValueError(f"unknown quantifier {quantifier!r}")
+    raise UsageError(f"unknown quantifier {quantifier!r}")

@@ -14,8 +14,9 @@ them), derivatives are computed over an internal lifted form with
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
+from ..errors import InternalError
 from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
 
 # Internal lifted constants (never exposed).
@@ -124,7 +125,7 @@ def _derive(node: object, symbol: str) -> object:
         else:
             remainder = Repeat(inner, max(low - 1, 0), high - 1)
         return _seq(derived_inner, remainder)
-    raise TypeError(f"unknown regex node: {node!r}")
+    raise InternalError(f"unknown regex node: {node!r}")
 
 
 def matches_by_derivatives(regex: Regex, word: Sequence[str]) -> bool:

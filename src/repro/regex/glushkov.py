@@ -15,8 +15,9 @@ bridge between the two worlds of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
+from ..errors import InternalError, UsageError
 from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
 
 
@@ -129,7 +130,7 @@ def _desugar_repeat(node: Repeat) -> Regex:
     required: list[Regex] = [inner] * low
     pieces = required + ([optional_tail] if optional_tail is not None else [])
     if not pieces:
-        raise ValueError("Repeat(r, 0, 0) denotes only epsilon; not representable")
+        raise UsageError("Repeat(r, 0, 0) denotes only epsilon; not representable")
     return pieces[0] if len(pieces) == 1 else Concat(tuple(pieces))
 
 
@@ -183,7 +184,7 @@ class _Builder:
                 inner.last,
                 inner.nullable or isinstance(regex, Star),
             )
-        raise TypeError(f"unknown regex node: {regex!r}")
+        raise InternalError(f"unknown regex node: {regex!r}")
 
 
 def glushkov(regex: Regex) -> Glushkov:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from functools import lru_cache
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from .ast import Regex
 from .glushkov import Glushkov, glushkov

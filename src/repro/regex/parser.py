@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import CorpusError
 from .ast import Opt, Plus, Regex, Repeat, Star, Sym, concat, disj
 
 
-class RegexSyntaxError(ValueError):
+class RegexSyntaxError(CorpusError):
     """Raised when the input is not a well-formed regular expression."""
 
     def __init__(self, message: str, position: int) -> None:

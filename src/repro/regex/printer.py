@@ -16,6 +16,7 @@ back by :mod:`repro.regex.parser`.
 
 from __future__ import annotations
 
+from ..errors import InternalError
 from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
 
 _PREC_DISJ = 0
@@ -54,7 +55,7 @@ def _render(regex: Regex, parent_prec: int, concat_sep: str, disj_sep: str) -> s
         if parent_prec > _PREC_POSTFIX:
             return f"({body})"
         return body
-    raise TypeError(f"unknown regex node: {regex!r}")
+    raise InternalError(f"unknown regex node: {regex!r}")
 
 
 def to_paper_syntax(regex: Regex) -> str:

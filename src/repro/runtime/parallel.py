@@ -31,8 +31,9 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
+from ..contracts import check_merge_commutative, contracts_enabled
 from ..core.inference import DTDInferencer, Method
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
@@ -100,6 +101,8 @@ def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:
     """The reduce step: fold shard evidence together, left to right."""
     merged = StreamingEvidence()
     for part in parts:
+        if contracts_enabled():
+            check_merge_commutative(merged, part)
         merged.merge(part)
     return merged
 
@@ -136,6 +139,8 @@ def parallel_evidence(
             return merge_evidence(results)
         merged = StreamingEvidence()
         for index, (evidence, snapshot) in enumerate(results):
+            if contracts_enabled():
+                check_merge_commutative(merged, evidence)
             merged.merge(evidence)
             recorder.merge_snapshot(snapshot, shard=index)
             recorder.count("shards")

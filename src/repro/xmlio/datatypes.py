@@ -14,7 +14,7 @@ walking the specificity ladder::
 from __future__ import annotations
 
 import re
-from typing import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 _BOOLEAN = {"true", "false", "0", "1"}
 _INTEGER = re.compile(r"[+-]?\d+\Z")
@@ -30,7 +30,7 @@ _DATETIME = re.compile(
 _NMTOKEN = re.compile(r"[A-Za-z0-9._:\-]+\Z")
 
 
-def _all(values: Sequence[str], predicate) -> bool:
+def _all(values: Sequence[str], predicate: Callable[[str], bool]) -> bool:
     return all(predicate(value) for value in values)
 
 

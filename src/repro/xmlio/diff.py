@@ -18,7 +18,7 @@ example words witnessing each strict difference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..regex.ast import Regex, Star, Sym, disj
 from ..regex.language import counterexample

@@ -11,7 +11,7 @@ round-trip, while the inference core only ever deals in the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..errors import CorpusError
 from ..regex.ast import Regex

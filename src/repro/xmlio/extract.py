@@ -27,8 +27,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Iterable, Iterator
+from time import perf_counter  # lint: allow R005 — feeds the recorder only
+from collections.abc import Iterable, Iterator
 
 from ..learning.incremental import IncrementalCRX, IncrementalSOA
 from ..obs.recorder import NULL_RECORDER, Recorder
@@ -137,7 +137,9 @@ class ElementEvidence:
             self.child_sequences = WordBag(self.child_sequences)
 
 
-def _observe_text_and_attributes(evidence, element: Element) -> None:
+def _observe_text_and_attributes(
+    evidence: ElementEvidence | StreamingElementEvidence, element: Element
+) -> None:
     """Shared text/attribute bookkeeping for both evidence flavours."""
     if element.has_text():
         evidence.has_text = True
@@ -153,7 +155,10 @@ def _observe_text_and_attributes(evidence, element: Element) -> None:
             samples.append(value)
 
 
-def _merge_reservoirs(evidence, other) -> None:
+def _merge_reservoirs(
+    evidence: ElementEvidence | StreamingElementEvidence,
+    other: ElementEvidence | StreamingElementEvidence,
+) -> None:
     """Shared text/attribute merge for both evidence flavours."""
     if len(evidence.text_values) < SAMPLE_CAP:
         evidence.text_values.extend(
@@ -172,7 +177,7 @@ def _merge_reservoirs(evidence, other) -> None:
 def _majority(counts: dict[str, int]) -> str | None:
     if not counts:
         return None
-    return max(sorted(counts), key=counts.get)
+    return max(sorted(counts), key=lambda name: counts[name])
 
 
 @dataclass

@@ -18,7 +18,7 @@ is the job of :mod:`repro.learning.noise`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from ..errors import CorpusError
 from ..obs.recorder import NULL_RECORDER, Recorder

@@ -10,7 +10,7 @@ opaque element names, which is also what the XML 1.0 + DTD spec does).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 
 @dataclass

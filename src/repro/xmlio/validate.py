@@ -11,7 +11,7 @@ errors rather than stop at the first one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..regex.language import matches
 from .dtd import Children, Dtd, Empty, Mixed

@@ -12,8 +12,9 @@ Text-only elements get a datatype from :func:`repro.xmlio.datatypes
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
+from ..errors import InternalError
 from ..regex.ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
 from .dtd import Any, AttributeDef, Dtd, Empty, Mixed
 
@@ -51,7 +52,7 @@ def _particle(regex: Regex, indent: str, low: int = 1, high: int | None = 1) -> 
             lines.extend(_particle(option, indent + "  "))
         lines.append(f"{indent}</xs:choice>")
         return lines
-    raise TypeError(f"unknown regex node: {regex!r}")
+    raise InternalError(f"unknown regex node: {regex!r}")
 
 
 def _combine_high(inner: int | None, outer: int | None) -> int | None:

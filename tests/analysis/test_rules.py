@@ -1,0 +1,250 @@
+"""Fixture tests for the repo linter (:mod:`repro.analysis`).
+
+Every registered rule gets (at least) one snippet that fires it and one
+clean counterexample; a meta-test enforces that coverage so a new rule
+cannot land without fixtures.  The final test runs the linter over the
+live ``src/repro`` tree — the acceptance criterion that CI replays via
+``python -m repro.analysis src/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: rule code -> (firing snippet, clean counterexample).  Paths matter
+#: for R001 (package __init__ re-exports are exempt) and R005 (wall
+#: clocks are only banned in core packages), so each fixture carries
+#: the virtual path it is analyzed under.
+FIXTURES: dict[str, dict[str, tuple[str, str]]] = {
+    "R001": {
+        "firing": (
+            "src/repro/core/something.py",
+            "from repro.core.inference import infer_dtd\n"
+            "result = infer_dtd(docs)\n",
+        ),
+        "clean": (
+            "src/repro/core/something.py",
+            "from repro.api import infer\n"
+            "result = infer(docs)\n",
+        ),
+    },
+    "R002": {
+        "firing": (
+            "src/repro/core/something.py",
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n",
+        ),
+        "clean": (
+            "src/repro/core/something.py",
+            "from repro.errors import UsageError\n"
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise UsageError('negative')\n",
+        ),
+    },
+    "R003": {
+        "firing": (
+            "src/repro/core/something.py",
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    pass\n",
+        ),
+        "clean": (
+            "src/repro/core/something.py",
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    recorder.count('swallowed')\n",
+        ),
+    },
+    "R004": {
+        "firing": (
+            "src/repro/core/something.py",
+            "def tweak(self, value):\n"
+            "    object.__setattr__(self, 'field', value)\n",
+        ),
+        "clean": (
+            "src/repro/core/something.py",
+            "def __post_init__(self):\n"
+            "    object.__setattr__(self, 'field', 1)\n",
+        ),
+    },
+    "R005": {
+        "firing": (
+            "src/repro/core/something.py",
+            "import random\n"
+            "def pick(items):\n"
+            "    return random.choice(items)\n",
+        ),
+        "clean": (
+            "src/repro/core/something.py",
+            "import random\n"
+            "def pick(items, rng: random.Random):\n"
+            "    return rng.choice(items)\n",
+        ),
+    },
+}
+
+
+class TestFixtureCoverage:
+    def test_every_rule_has_fixtures(self):
+        codes = {rule.code for rule in ALL_RULES}
+        assert codes == set(FIXTURES), (
+            "every registered rule needs a firing and a clean fixture"
+        )
+
+    def test_rule_codes_and_titles(self):
+        for rule in ALL_RULES:
+            assert rule.code.startswith("R") and len(rule.code) == 4
+            assert rule.title
+
+
+class TestFiringFixtures:
+    def test_firing_snippets_fire(self):
+        for code, cases in FIXTURES.items():
+            path, source = cases["firing"]
+            findings = analyze_source(path, source)
+            assert any(f.rule == code for f in findings), (
+                f"{code} fixture did not fire: {findings}"
+            )
+
+    def test_clean_snippets_stay_clean(self):
+        for code, cases in FIXTURES.items():
+            path, source = cases["clean"]
+            findings = [f for f in analyze_source(path, source) if f.rule == code]
+            assert findings == [], f"{code} counterexample fired: {findings}"
+
+
+class TestRuleDetails:
+    def test_r001_exempts_package_init(self):
+        source = "from .inference import infer_dtd\n"
+        findings = analyze_source("src/repro/core/__init__.py", source)
+        assert not any(f.rule == "R001" for f in findings)
+
+    def test_r002_allows_hierarchy_subclasses(self):
+        source = (
+            "from repro.errors import CorpusError\n"
+            "class BadSample(CorpusError):\n"
+            "    pass\n"
+            "def f():\n"
+            "    raise BadSample('x')\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R002" for f in findings)
+
+    def test_r002_allows_bare_reraise(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except KeyError:\n"
+            "    raise\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R002" for f in findings)
+
+    def test_r003_reraise_is_visible_handling(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R003" for f in findings)
+
+    def test_r005_wall_clock_only_flagged_in_core(self):
+        source = "from time import perf_counter\n"
+        core = analyze_source("src/repro/core/m.py", source)
+        assert any(f.rule == "R005" for f in core)
+        obs = analyze_source("src/repro/obs/m.py", source)
+        assert not any(f.rule == "R005" for f in obs)
+
+    def test_r005_seeded_random_constructor_allowed(self):
+        source = "import random\nrng = random.Random(7)\n"
+        findings = analyze_source("src/repro/datagen/m.py", source)
+        assert not any(f.rule == "R005" for f in findings)
+
+
+class TestAllowlistPragma:
+    def test_same_line_pragma_suppresses(self):
+        source = "raise ValueError('x')  # lint: allow R002 — fixture\n"
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R002" for f in findings)
+
+    def test_previous_line_pragma_suppresses(self):
+        source = (
+            "# lint: allow R002 — fixture\n"
+            "raise ValueError('x')\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R002" for f in findings)
+
+    def test_pragma_is_rule_specific(self):
+        source = "raise ValueError('x')  # lint: allow R001\n"
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert any(f.rule == "R002" for f in findings)
+
+
+class TestCli:
+    def test_live_tree_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("raise ValueError('x')\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--json", str(bad)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        assert report["count"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "R002"
+        assert finding["line"] == 1
+
+    def test_rules_filter(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("raise ValueError('x')\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--rules", "R003", str(bad)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+
+    def test_unknown_rule_code_is_usage_error(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--rules", "R999"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "unknown rule" in result.stderr
+
+    def test_analyze_paths_accepts_single_file(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("x = 1\n")
+        assert analyze_paths([target]) == []
