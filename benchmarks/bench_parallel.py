@@ -28,7 +28,7 @@ from repro.api import InferenceConfig, infer
 from repro.datagen.xmlgen import XmlGenerator, serialize
 from repro.evaluation.tables import Table
 from repro.evaluation.timing import timed
-from repro.runtime.parallel import parallel_evidence
+from repro.runtime.parallel import choose_backend, parallel_evidence
 from repro.xmlio.dtd import parse_dtd
 from repro.xmlio.extract import extract_evidence
 from repro.xmlio.parser import parse_file
@@ -112,9 +112,16 @@ def test_speedup_and_rss_report(corpus_paths, scale, benchmark):
     def sharded_render(jobs: int) -> str:
         return infer(corpus_paths, config=InferenceConfig(jobs=jobs)).render()
 
+    # What the adaptive scheduler actually picks for this corpus at
+    # jobs=4: on a 1-CPU host that is "serial", and the speedup row
+    # then measures scheduler overhead (expected ~1.0), not parallelism.
+    backend_chosen, _ = choose_backend(len(corpus_paths), jobs=4)
     batch_time = run("batch (materialized evidence)", lambda: batch_render(corpus_paths))
     streaming_time = run("streaming, 1 process", lambda: sharded_render(1))
-    parallel_time = run("map-reduce, 4 processes", lambda: sharded_render(4))
+    parallel_time = run(
+        f"map-reduce, jobs=4 (auto: {backend_chosen})",
+        lambda: sharded_render(4),
+    )
     speedup = batch_time / parallel_time if parallel_time else float("inf")
     table.add("speedup batch/4-jobs", f"{speedup:.2f}x", "", "")
     table.show()
@@ -123,6 +130,7 @@ def test_speedup_and_rss_report(corpus_paths, scale, benchmark):
         {
             "documents": len(corpus_paths),
             "cpus": cpus,
+            "backend_chosen": backend_chosen,
             "batch_seconds": batch_time,
             "streaming_1_process_seconds": streaming_time,
             "mapreduce_4_processes_seconds": parallel_time,
@@ -134,6 +142,19 @@ def test_speedup_and_rss_report(corpus_paths, scale, benchmark):
         assert speedup > 1.3, (
             f"expected >1.3x speedup with 4 jobs on {cpus} CPUs, "
             f"got {speedup:.2f}x"
+        )
+    else:
+        # The dispatch bugfix this section documents: jobs=4 on a small
+        # host must no longer cost 4x (the old 0.25x row) — the cost
+        # model degrades it to serial, so it must stay near batch speed.
+        # 0.4 tolerates the streaming pipeline's inherent per-document
+        # fold cost (the row compares batch vs streaming-serial here)
+        # plus shared-runner noise, while still catching the old 4x
+        # (0.25) pool-spawn pathology.
+        assert backend_chosen == "serial"
+        assert speedup > 0.4, (
+            f"auto backend chose {backend_chosen!r} but jobs=4 still "
+            f"ran {1 / speedup:.2f}x slower than batch"
         )
 
 

@@ -54,9 +54,13 @@ def corpus_paths(tmp_path_factory, scale):
 
 
 def _profile(paths, config_kwargs):
+    # cache=False: this profiles where a fresh derivation spends its
+    # time; a warm content-model cache would (correctly) skip the very
+    # phases this section exists to break down.
     recorder = StatsRecorder()
     result = infer(
-        paths, config=InferenceConfig(recorder=recorder, **config_kwargs)
+        paths,
+        config=InferenceConfig(recorder=recorder, cache=False, **config_kwargs),
     )
     result.render()
     return summary_dict(recorder.snapshot())
@@ -64,11 +68,14 @@ def _profile(paths, config_kwargs):
 
 def test_phase_breakdown_written(corpus_paths):
     """Record per-phase wall-clock + peak RSS for every pipeline shape."""
+    # backend="thread" pins the map-reduce shape: on small hosts the
+    # auto cost model would degrade jobs=2 to serial and there would be
+    # no shard phase to profile.
     sections = {
         "batch": {},
         "batch_idtd": {"method": "idtd"},
         "streaming": {"streaming": True},
-        "mapreduce_2_jobs": {"jobs": 2},
+        "mapreduce_2_jobs": {"jobs": 2, "backend": "thread"},
     }
     table = Table(
         headers=("pipeline", "wall s", "peak RSS kB", "top phase"),
@@ -108,7 +115,12 @@ def test_disabled_recorder_overhead(corpus_paths, scale):
         return DTDInferencer()._finalize_batch(evidence).render()
 
     def facaded():
-        return infer(corpus_paths).render()
+        # cache=False keeps the comparison apples-to-apples: this
+        # ratio isolates facade dispatch cost, and a warm cache on the
+        # facade side only would mask a dispatch regression.
+        return infer(
+            corpus_paths, config=InferenceConfig(cache=False)
+        ).render()
 
     assert bare() == facaded()
     repeats = 7 if scale.is_full else 5

@@ -1,0 +1,179 @@
+"""CI perf gate: compare a fresh ``BENCH_phases.json`` to the baseline.
+
+Not a pytest module — run it directly after regenerating the bench
+JSON::
+
+    python benchmarks/perf_gate.py --baseline /tmp/bench_baseline.json
+
+Each gate checks one headline number from the benchmark suite.  A
+value fails only when it is worse than BOTH its absolute bound and the
+baseline value widened by the tolerance band — absolute bounds encode
+what the number *means* (e.g. "the facade costs nothing"), while the
+relative band catches regressions hiding inside a loose absolute
+bound without flaking on shared-runner timing noise.
+
+Exit codes: 0 all gates pass, 1 regression (or malformed/missing
+JSON), matching the repo-wide "1 = input/usage problem" convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+DEFAULT_FRESH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_phases.json",
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One checked number: ``section.key`` compared in ``direction``.
+
+    ``direction="max"``: the value must stay at or below the bound
+    (overhead ratios).  ``direction="min"``: it must stay at or above
+    the bound (speedups).
+    """
+
+    path: str
+    direction: str
+    absolute: float
+
+    def bound(self, baseline: float | None, tolerance: float) -> float:
+        """The effective bound: absolute widened toward the baseline."""
+        if baseline is None:
+            return self.absolute
+        if self.direction == "max":
+            return max(self.absolute, baseline * (1.0 + tolerance))
+        return min(self.absolute, baseline * (1.0 - tolerance))
+
+    def passes(self, value: float, bound: float) -> bool:
+        if self.direction == "max":
+            return value <= bound
+        return value >= bound
+
+
+GATES = [
+    # The unified facade must stay free relative to the bare engine.
+    Gate("overhead.ratio", "max", 1.10),
+    # Contracts compiled off must cost nothing measurable.
+    Gate("contracts_overhead.enabled_over_disabled_ratio", "max", 1.25),
+    # A live StatsRecorder must stay cheap.
+    Gate("enabled_overhead.ratio", "max", 1.30),
+    # The content-model cache must at least halve warm finalize time.
+    Gate("cache.speedup_uncached_over_cached", "min", 2.0),
+]
+
+
+def lookup(data: dict[str, Any], path: str) -> float | None:
+    node: Any = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check_parallel_dispatch(fresh: dict[str, Any]) -> list[str]:
+    """The parallel-dispatch bugfix gate.
+
+    ``--jobs 4`` must never again run slower than batch because of
+    blind pool spawning: either the corpus parallelizes (speedup >= 1)
+    or the adaptive scheduler explicitly degraded to serial, in which
+    case only bounded scheduler overhead is tolerated (the old bug
+    showed up as a 4x slowdown here).
+    """
+    failures: list[str] = []
+    section = fresh.get("parallel")
+    if not isinstance(section, dict):
+        return ["parallel: section missing from fresh JSON"]
+    speedup = lookup(fresh, "parallel.speedup_batch_over_4_jobs")
+    chosen = section.get("backend_chosen")
+    if speedup is None or chosen is None:
+        return ["parallel: speedup_batch_over_4_jobs/backend_chosen missing"]
+    if chosen == "serial":
+        if speedup < 0.4:
+            failures.append(
+                f"parallel: scheduler degraded to serial but jobs=4 still "
+                f"ran {1 / speedup:.2f}x slower than batch "
+                f"(speedup {speedup:.2f}, floor 0.40)"
+            )
+    elif speedup < 1.0:
+        failures.append(
+            f"parallel: backend {chosen!r} chosen but speedup is "
+            f"{speedup:.2f}x (< 1.0): parallel dispatch is a pessimization"
+        )
+    return failures
+
+
+def run_gates(
+    fresh: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> int:
+    failures: list[str] = []
+    width = max(len(gate.path) for gate in GATES)
+    for gate in GATES:
+        value = lookup(fresh, gate.path)
+        if value is None:
+            failures.append(f"{gate.path}: missing from fresh JSON")
+            continue
+        bound = gate.bound(lookup(baseline, gate.path), tolerance)
+        ok = gate.passes(value, bound)
+        relation = "<=" if gate.direction == "max" else ">="
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"  {status} {gate.path:<{width}}  "
+            f"{value:8.3f} {relation} {bound:.3f}"
+        )
+        if not ok:
+            failures.append(
+                f"{gate.path}: {value:.3f} violates {relation} {bound:.3f}"
+            )
+    failures.extend(check_parallel_dispatch(fresh))
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed BENCH_phases.json to compare against",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=DEFAULT_FRESH,
+        help="freshly generated BENCH_phases.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative band around baseline values (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.fresh, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf gate: cannot load inputs: {exc}", file=sys.stderr)
+        return 1
+    print(f"perf gate: fresh={args.fresh} vs baseline={args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    return run_gates(fresh, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,15 @@ class InferenceConfig:
             needs the full sample.
         sparse_threshold: the ``auto``-method cut-over sample size.
         infer_attributes: also generate ``<!ATTLIST>`` declarations.
+        cache: memoize the per-element finalize step in the
+            process-wide fingerprint-keyed LRU
+            (:mod:`repro.runtime.cache`).  Hits are byte-identical to
+            fresh derivations; disable to force every derivation fresh.
+        backend: worker-pool choice for sharded extraction —
+            ``"auto"`` (cost model picks serial/thread/process from
+            corpus size and CPUs), or an explicit ``"serial"``,
+            ``"thread"``, ``"process"``.  Only meaningful with
+            streaming/jobs.
         recorder: instrumentation sink (:mod:`repro.obs`); the default
             no-op recorder costs nearly nothing.
     """
@@ -85,6 +94,8 @@ class InferenceConfig:
     support_threshold: int = 0
     sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD
     infer_attributes: bool = True
+    cache: bool = True
+    backend: str = "auto"
     recorder: Recorder = NULL_RECORDER
 
     def __post_init__(self) -> None:
@@ -95,6 +106,19 @@ class InferenceConfig:
             )
         if self.jobs is not None and self.jobs < 1:
             raise UsageError(f"jobs must be >= 1, got {self.jobs}")
+        from .runtime.parallel import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise UsageError(
+                f"unknown backend {self.backend!r}: expected one of "
+                f"{', '.join(BACKENDS)}"
+            )
+        if self.backend != "auto" and not self.effective_streaming:
+            raise UsageError(
+                "backend= selects the sharded-extraction pool: combine it "
+                "with streaming=True or jobs= (batch inference is always "
+                "serial)"
+            )
         if self.support_threshold < 0:
             raise UsageError(
                 f"support_threshold must be >= 0, got {self.support_threshold}"
@@ -186,12 +210,22 @@ def infer(
     if config is None:
         config = InferenceConfig()
     recorder = config.recorder
+    if config.cache:
+        from .runtime.cache import global_content_model_cache
+
+        content_model_cache = global_content_model_cache()
+    else:
+        content_model_cache = None
+    from .regex.language import language_cache_info
+
+    language_before = language_cache_info() if recorder.enabled else {}
     inferencer = DTDInferencer(
         method=config.method,
         sparse_threshold=config.sparse_threshold,
         numeric=config.numeric,
         infer_attributes=config.infer_attributes,
         recorder=recorder,
+        cache=content_model_cache,
     )
     items = _expand_source(source)
     if not items:
@@ -211,7 +245,8 @@ def infer(
 
             evidence = parallel_evidence(
                 paths,
-                jobs=config.jobs if config.jobs is not None else 1,
+                jobs=config.jobs,
+                backend=config.backend,
                 recorder=recorder,
             )
         else:
@@ -240,6 +275,12 @@ def infer(
                     evidence, config.support_threshold, recorder
                 )
         dtd = inferencer._finalize_batch(evidence)
+    if recorder.enabled:
+        for cache_name, stats in language_cache_info().items():
+            for key in ("hits", "misses"):
+                delta = stats[key] - language_before[cache_name][key]
+                if delta:
+                    recorder.count(f"cache.language.{cache_name}.{key}", delta)
     return InferenceResult(
         dtd=dtd,
         report=inferencer.report,

@@ -88,6 +88,23 @@ class SOA:
         self.edges |= other.edges
         self.accepts_empty = self.accepts_empty or other.accepts_empty
 
+    def fingerprint(self) -> tuple[object, ...]:
+        """A stable, hashable digest of the ``(I, F, S)`` triple.
+
+        Two SOAs with equal fingerprints denote the same language and
+        — because :func:`repro.core.idtd.idtd_from_soa` is a
+        deterministic function of the triple — produce the same SORE.
+        That makes the fingerprint a sound memoization key for the
+        per-element finalize step (:mod:`repro.runtime.cache`).
+        """
+        return (
+            frozenset(self.symbols),
+            frozenset(self.initial),
+            frozenset(self.final),
+            frozenset(self.edges),
+            self.accepts_empty,
+        )
+
     def successors(self, symbol: str) -> set[str]:
         return {b for (a, b) in self.edges if a == symbol}
 

@@ -53,6 +53,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         numeric=args.numeric,
         support_threshold=args.support_threshold,
         infer_attributes=not args.no_attributes,
+        cache=not args.no_cache,
+        backend=args.backend,
         recorder=recorder,
     )
     result = infer(args.files, config=config)
@@ -207,6 +209,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard the corpus across N worker processes and merge the "
         "learner states (map-reduce; implies --streaming)",
+    )
+    infer.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="worker-pool choice for sharded extraction: auto (cost "
+        "model picks from corpus size and CPU count), or force "
+        "serial/thread/process; only meaningful with --streaming/--jobs",
+    )
+    infer.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the fingerprint-keyed content-model cache and "
+        "derive every expression fresh",
     )
     infer.add_argument(
         "--check",

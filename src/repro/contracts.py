@@ -52,6 +52,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "ContractViolation",
+    "check_cached_content_model",
     "check_emitted_chare",
     "check_emitted_sore",
     "check_gfa",
@@ -241,6 +242,26 @@ def check_content_model(regex: Regex, element: str) -> None:
             "inference.deterministic-content-model",
             f"content model for element {element!r} is not one-unambiguous: "
             f"{regex}",
+        )
+
+
+def check_cached_content_model(
+    cached: Regex, fresh: Regex, element: str
+) -> None:
+    """A cache hit must agree with a fresh run of the learner.
+
+    The content-model cache (:mod:`repro.runtime.cache`) keys on a
+    fingerprint of the merged learner state, which *should* determine
+    the learner output exactly; under contracts every hit re-derives
+    the expression and compares.  A mismatch means the fingerprint is
+    missing an input the learner actually reads — an engine bug.
+    """
+    if cached != fresh:
+        raise _violated(
+            "cache.cached-vs-fresh-agreement",
+            f"cached content model for element {element!r} ({cached}) "
+            f"differs from a fresh derivation ({fresh}); the cache "
+            "fingerprint does not cover every learner input",
         )
 
 

@@ -101,6 +101,24 @@ class CrxState:
         for word in words:
             self.add(word)
 
+    def fingerprint(self) -> tuple[object, ...]:
+        """A stable, hashable digest of everything ``infer`` reads.
+
+        Algorithm 3 is a deterministic function of the arrow relation,
+        the alphabet and the occurrence-profile multiset, so two states
+        with equal fingerprints emit the same CHARE — the soundness
+        property behind the content-model cache
+        (:mod:`repro.runtime.cache`).  Profile multiplicities are
+        included conservatively: the current emitter only reads the
+        distinct profiles, but multiplicity-sensitive extensions (e.g.
+        numeric bounds) must never alias.
+        """
+        return (
+            frozenset(self.alphabet),
+            frozenset(self.arrows),
+            frozenset(self.profiles.items()),
+        )
+
     def merge(self, other: "CrxState") -> None:
         """Fold another state into this one in place.
 

@@ -27,15 +27,20 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
-from typing import Literal
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Literal
 
-from ..contracts import check_content_model, contracts_enabled
+from ..contracts import (
+    check_cached_content_model,
+    check_content_model,
+    contracts_enabled,
+)
 from ..errors import CorpusError, UsageError
 from ..learning.tinf import tinf
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Regex
 from ..regex.normalize import normalize
+from ..xmlio import extract as evidence_module
 from ..xmlio.datatypes import sniff_type
 from ..xmlio.dtd import AttributeDef, Children, Dtd, Empty, Mixed
 from ..xmlio.extract import (
@@ -50,6 +55,9 @@ from ..xmlio.tree import Document
 from .crx import CrxState
 from .idtd import idtd_from_soa
 from .numeric import annotate_numeric
+
+if TYPE_CHECKING:
+    from ..runtime.cache import CacheKey, ContentModelCache
 
 Method = Literal["idtd", "crx", "auto"]
 
@@ -84,6 +92,11 @@ class DTDInferencer:
         infer_attributes: also generate ``<!ATTLIST>`` declarations.
         recorder: instrumentation sink (see :mod:`repro.obs`); spans
             ``soa``/``rewrite``/``crx`` are opened per element.
+        cache: an optional :class:`repro.runtime.cache.ContentModelCache`
+            memoizing the per-element finalize step, keyed on a
+            fingerprint of the merged learner state.  ``None`` (the
+            default) derives every content model fresh; the façade
+            passes the process-wide cache unless ``cache=False``.
     """
 
     def __init__(
@@ -93,6 +106,7 @@ class DTDInferencer:
         numeric: bool = False,
         infer_attributes: bool = True,
         recorder: Recorder | None = None,
+        cache: ContentModelCache | None = None,
     ) -> None:
         if method not in ("idtd", "crx", "auto"):
             raise UsageError(f"unknown method {method!r}")
@@ -101,6 +115,7 @@ class DTDInferencer:
         self.numeric = numeric
         self.infer_attributes = infer_attributes
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.cache = cache
         self.report = InferenceReport()
 
     # -- learner selection ---------------------------------------------------
@@ -109,6 +124,46 @@ class DTDInferencer:
         if self.method == "auto":
             return "crx" if nonempty_count < self.sparse_threshold else "idtd"
         return self.method
+
+    # -- content-model memoization ---------------------------------------------
+
+    def _cache_key(
+        self, method: str, state_fingerprint: tuple[object, ...]
+    ) -> CacheKey:
+        """Key = learner method + active reservoir cap + state digest.
+
+        ``SAMPLE_CAP`` is looked up through the module so runs under a
+        patched cap (tests, ablations) never alias cached entries.
+        """
+        return (method, evidence_module.SAMPLE_CAP, state_fingerprint)
+
+    def _memoized(
+        self,
+        method: str,
+        fingerprint: Callable[[], tuple[object, ...]],
+        derive: Callable[[], Regex],
+        name: str,
+    ) -> Regex:
+        """``derive()`` through the content-model cache, if one is set.
+
+        The fingerprint is only computed when a cache is attached, so
+        the uncached engine pays nothing.  Under contracts every hit
+        re-derives fresh and compares
+        (:func:`repro.contracts.check_cached_content_model`), so
+        ``REPRO_CHECKS=1`` runs prove cached-vs-fresh agreement on the
+        live workload.
+        """
+        if self.cache is None:
+            return derive()
+        key = self._cache_key(method, fingerprint())
+        cached = self.cache.get(key, self.recorder)
+        if cached is not None:
+            if contracts_enabled():
+                check_cached_content_model(cached, derive(), name)
+            return cached
+        regex = derive()
+        self.cache.put(key, regex, self.recorder)
+        return regex
 
     def _learn_regex(
         self, name: str, words: WordBag | Sequence[tuple[str, ...]]
@@ -125,13 +180,27 @@ class DTDInferencer:
                 state = CrxState()
                 for word, count in sample.distinct():
                     state.add_counted(word, count)
-                regex = state.infer(recorder=recorder)
+                regex = self._memoized(
+                    "crx",
+                    state.fingerprint,
+                    lambda: state.infer(recorder=recorder),
+                    name,
+                )
         else:
             with recorder.span("soa", element=name):
                 soa = tinf(sample.distinct_words(), recorder=recorder)
-            with recorder.span("rewrite", element=name):
-                regex = idtd_from_soa(soa, recorder=recorder).regex
+
+            def derive_sore() -> Regex:
+                with recorder.span("rewrite", element=name):
+                    return idtd_from_soa(soa, recorder=recorder).regex
+
+            regex = self._memoized(
+                "idtd", soa.fingerprint, derive_sore, name
+            )
         if self.numeric:
+            # Numeric bounds read the full distinct-word sample, which
+            # the fingerprint deliberately does not cover — annotation
+            # therefore always runs fresh, on top of the cached core.
             regex = annotate_numeric(regex, sample.distinct_words())
         return regex, method
 
@@ -187,15 +256,28 @@ class DTDInferencer:
             return Empty()
         method = self._pick_method(evidence.nonempty_count)
         recorder = self.recorder
+        derive: Callable[[], Regex]
         if method == "crx":
-            with recorder.span("crx", element=evidence.name):
-                regex = evidence.crx.infer(recorder=recorder)
+
+            def derive_chare() -> Regex:
+                with recorder.span("crx", element=evidence.name):
+                    return evidence.crx.infer(recorder=recorder)
+
+            derive = derive_chare
+            learner_method = "crx"
+            fingerprint = evidence.crx.state.fingerprint
         else:
             # The SOA itself was built during extraction (its fold time
             # shows up under the streaming ``soa`` aggregate spans);
             # what remains here is the Section 5/6 rewrite + repair.
-            with recorder.span("rewrite", element=evidence.name):
-                regex = evidence.soa.infer(recorder=recorder)
+            def derive_sore() -> Regex:
+                with recorder.span("rewrite", element=evidence.name):
+                    return evidence.soa.infer(recorder=recorder)
+
+            derive = derive_sore
+            learner_method = "idtd"
+            fingerprint = evidence.soa.soa.fingerprint
+        regex = self._memoized(learner_method, fingerprint, derive, evidence.name)
         regex = self._wrap_optional(regex, evidence.empty_count > 0)
         if contracts_enabled():
             check_content_model(regex, evidence.name)

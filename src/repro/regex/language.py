@@ -84,14 +84,50 @@ def counterexample(
     return None
 
 
-def language_included(narrower: Regex, wider: Regex) -> bool:
-    """``L(narrower) ⊆ L(wider)``."""
+@lru_cache(maxsize=16384)
+def _included_cached(narrower: Regex, wider: Regex) -> bool:
     return counterexample(narrower, wider) is None
 
 
+def language_included(narrower: Regex, wider: Regex) -> bool:
+    """``L(narrower) ⊆ L(wider)``.
+
+    Memoized: expression nodes are frozen and hashable, and inclusion
+    queries repeat heavily during generalization search, so the verdict
+    (a single bool, not the counterexample word) sits behind an LRU.
+    """
+    return _included_cached(narrower, wider)
+
+
 def language_equivalent(first: Regex, second: Regex) -> bool:
-    """``L(first) = L(second)``."""
+    """``L(first) = L(second)``.  Memoized via :func:`language_included`."""
     return language_included(first, second) and language_included(second, first)
+
+
+def language_cache_info() -> dict[str, dict[str, int]]:
+    """Hit/miss/size statistics for the language-level LRUs.
+
+    Keys: ``automaton`` (the Glushkov construction cache) and
+    ``inclusion`` (the memoized inclusion verdicts).  The API layer
+    diffs these around an inference run to surface ``--stats``
+    counters without threading a recorder through pure functions.
+    """
+    info: dict[str, dict[str, int]] = {}
+    for name, fn in (("automaton", _automaton), ("inclusion", _included_cached)):
+        stats = fn.cache_info()
+        info[name] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "entries": stats.currsize,
+            "maxsize": stats.maxsize or 0,
+        }
+    return info
+
+
+def clear_language_caches() -> None:
+    """Drop both language-level LRUs (explicit invalidation hook)."""
+    _automaton.cache_clear()
+    _included_cached.cache_clear()
 
 
 def enumerate_words(

@@ -4,22 +4,54 @@
   corpus, extract+learn per shard in worker processes, merge the (tiny)
   learner states (and per-shard stats snapshots when a recorder is
   live).
+* :func:`choose_backend` — the adaptive cost model behind
+  ``backend="auto"``: serial/thread/process from corpus size and the
+  CPU count, shards clamped to the CPUs.
+* :class:`WorkerPool` / :func:`warm_pool` — process-wide warm executor
+  pools, lazily created, reused across ``api.infer`` calls and shut
+  down at exit (:func:`shutdown_warm_pools`).
+* :class:`ContentModelCache` — the fingerprint-keyed LRU memoizing the
+  per-element finalize step (see :mod:`repro.runtime.cache`).
 * :func:`infer_parallel` — deprecated; use
   ``repro.api.infer(paths, config=InferenceConfig(jobs=N))``.
 """
 
+from .cache import (
+    DEFAULT_CACHE_SIZE,
+    ContentModelCache,
+    global_content_model_cache,
+    reset_global_content_model_cache,
+)
 from .parallel import (
+    BACKENDS,
+    MIN_DOCS_PER_SHARD,
+    PROCESS_CORPUS_FLOOR,
+    WorkerPool,
+    choose_backend,
     extract_from_paths,
     infer_parallel,
     merge_evidence,
     parallel_evidence,
     shard_paths,
+    shutdown_warm_pools,
+    warm_pool,
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_CACHE_SIZE",
+    "MIN_DOCS_PER_SHARD",
+    "PROCESS_CORPUS_FLOOR",
+    "ContentModelCache",
+    "WorkerPool",
+    "choose_backend",
     "extract_from_paths",
+    "global_content_model_cache",
     "infer_parallel",
     "merge_evidence",
     "parallel_evidence",
+    "reset_global_content_model_cache",
     "shard_paths",
+    "shutdown_warm_pools",
+    "warm_pool",
 ]

@@ -24,10 +24,21 @@ a private :class:`~repro.obs.recorder.StatsRecorder`, ships its plain
 snapshots into its own recorder via ``merge_snapshot`` (tagging each
 with its shard index) — the observability monoid merged alongside the
 evidence monoid.
+
+Scheduling is adaptive: ``backend="auto"`` (the default) picks
+``serial``/``thread``/``process`` from the corpus size and
+``os.cpu_count()`` (:func:`choose_backend`), clamps the shard count to
+the CPUs, and falls back to serial when shards would hold fewer than
+:data:`MIN_DOCS_PER_SHARD` documents — on small corpora pool dispatch
+costs more than it saves.  Worker pools are *warm*: one process pool
+and one thread pool per interpreter, lazily created, reused across
+``api.infer`` calls and shut down at exit (:class:`WorkerPool`), so
+repeated inferences stop paying pool startup.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -35,12 +46,134 @@ from collections.abc import Iterable, Sequence
 
 from ..contracts import check_merge_commutative, contracts_enabled
 from ..core.inference import DTDInferencer, Method
+from ..errors import UsageError
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
 from ..xmlio.extract import StreamingEvidence
 from ..xmlio.parser import parse_file
 
-Backend = str  # "process" | "thread" | "serial"
+Backend = str  # "auto" | "process" | "thread" | "serial"
+
+#: Every value ``backend=`` accepts, public for CLI/config validation.
+BACKENDS = ("auto", "process", "thread", "serial")
+
+#: The minimum-work threshold: below this many documents per shard the
+#: adaptive scheduler runs serial — dispatch and state transfer cost
+#: more than the parallelism recovers on corpora this small.
+MIN_DOCS_PER_SHARD = 8
+
+#: Below this many documents the adaptive scheduler prefers the thread
+#: pool: threads overlap file I/O during parsing at near-zero startup
+#: cost, while a process pool's spawn/transfer overhead needs a larger
+#: corpus to amortize (see ``benchmarks/bench_cache.py``).
+PROCESS_CORPUS_FLOOR = 64
+
+
+def choose_backend(
+    documents: int, jobs: int | None = None, cpus: int | None = None
+) -> tuple[Backend, int]:
+    """The cost model: pick ``(backend, shards)`` for ``documents``.
+
+    ``jobs`` caps the shard count (``None`` means "up to the CPU
+    count"); the result is additionally clamped to ``cpus`` — more
+    workers than CPUs only adds scheduling overhead — and to the
+    :data:`MIN_DOCS_PER_SHARD` work floor.  One CPU, one shard, or a
+    tiny corpus all collapse to ``("serial", 1)``.
+    """
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    requested = jobs if jobs is not None else cpus
+    shards = max(1, min(requested, cpus, documents // MIN_DOCS_PER_SHARD))
+    if cpus <= 1 or shards <= 1:
+        return "serial", 1
+    if documents < PROCESS_CORPUS_FLOOR:
+        return "thread", shards
+    return "process", shards
+
+
+class WorkerPool:
+    """A lazily-created warm executor of one kind, reused across calls.
+
+    The pool is created on first :meth:`executor` call (sized to the
+    CPU count), healed transparently if a worker death broke it, and
+    shut down at interpreter exit — so a service calling
+    :func:`repro.api.infer` repeatedly pays process startup once, not
+    per inference.
+    """
+
+    def __init__(self, kind: Backend) -> None:
+        if kind not in ("process", "thread"):
+            raise UsageError(
+                f"warm pools exist for 'process' and 'thread', not {kind!r}"
+            )
+        self.kind = kind
+        self._executor: Executor | None = None
+
+    @property
+    def live(self) -> bool:
+        """Whether a usable executor currently exists."""
+        return self._executor is not None and not getattr(
+            self._executor, "_broken", False
+        )
+
+    def executor(self, max_workers: int | None = None) -> Executor:
+        """The warm executor, creating (or healing) it if necessary.
+
+        ``max_workers`` only matters at creation time; both executor
+        kinds spawn workers lazily up to the bound, so sizing once at
+        creation covers every later shard plan.  The default sizing is
+        the CPU count for process pools and the stdlib's I/O-friendly
+        ``min(32, cpus + 4)`` for thread pools.
+        """
+        if self._executor is not None and getattr(
+            self._executor, "_broken", False
+        ):
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._executor is None:
+            cpus = os.cpu_count() or 1
+            if self.kind == "thread":
+                workers = max_workers if max_workers else min(32, cpus + 4)
+                self._executor = ThreadPoolExecutor(max_workers=workers)
+            else:
+                workers = max_workers if max_workers else cpus
+                self._executor = ProcessPoolExecutor(max_workers=workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Shut the executor down; the next use lazily recreates it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+_WARM_POOLS: dict[str, WorkerPool] = {
+    "process": WorkerPool("process"),
+    "thread": WorkerPool("thread"),
+}
+
+
+def warm_pool(kind: Backend) -> WorkerPool:
+    """The process-wide warm pool for ``kind`` (``process``/``thread``)."""
+    try:
+        return _WARM_POOLS[kind]
+    except KeyError:
+        raise UsageError(
+            f"no warm pool for backend {kind!r}; expected 'process' or "
+            "'thread'"
+        ) from None
+
+
+def shutdown_warm_pools() -> None:
+    """Shut down every warm pool (registered to run at exit).
+
+    Safe to call repeatedly; pools recreate lazily on next use.
+    """
+    for pool in _WARM_POOLS.values():
+        pool.shutdown()
+
+
+atexit.register(shutdown_warm_pools)
 
 
 def shard_paths(paths: Sequence[str], shards: int) -> list[list[str]]:
@@ -110,29 +243,65 @@ def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:
 def parallel_evidence(
     paths: Sequence[str],
     jobs: int | None = None,
-    backend: Backend = "process",
+    backend: Backend = "auto",
     executor: Executor | None = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> StreamingEvidence:
     """Extract streaming evidence from ``paths`` using ``jobs`` workers.
 
-    ``jobs=None`` uses the CPU count; ``jobs<=1`` (or a single file, or
-    ``backend="serial"``) runs in-process without an executor.  A
-    caller-supplied ``executor`` overrides backend selection — useful
-    for reusing a warm pool across corpora.
+    ``backend="auto"`` (the default) runs the :func:`choose_backend`
+    cost model: shard count clamped to the CPUs and to ``jobs``, serial
+    below the :data:`MIN_DOCS_PER_SHARD` work floor, threads for small
+    corpora and the warm process pool for large ones.  An explicit
+    ``backend`` skips the cost model (``jobs=None`` then means the CPU
+    count, and a single job or single file still degrades to serial).
 
-    With a live ``recorder``, each worker records into its own
-    :class:`StatsRecorder` and the per-shard snapshots merge into
+    Precedence: a caller-supplied ``executor`` always wins.  Combining
+    one with an explicit (non-``"auto"``) ``backend`` is contradictory
+    and raises a :class:`RuntimeWarning`; the executor is used.
+
+    ``jobs`` must be positive when given; ``jobs=0`` or negative raises
+    :class:`~repro.errors.UsageError` instead of silently degrading.
+
+    With a live ``recorder``, the chosen backend is counted under
+    ``parallel.backend.<name>``, each worker records into its own
+    :class:`StatsRecorder`, and the per-shard snapshots merge into
     ``recorder`` in shard order, tagged with their shard index.
     """
     paths = list(paths)
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    if executor is None and (
-        jobs <= 1 or len(paths) <= 1 or backend == "serial"
-    ):
+    if backend not in BACKENDS:
+        raise UsageError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"jobs must be a positive integer, got {jobs}")
+    if executor is not None and backend != "auto":
+        warnings.warn(
+            f"caller-supplied executor takes precedence over "
+            f"backend={backend!r}; pass backend='auto' (the default) "
+            "when reusing an external pool",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    cpus = os.cpu_count() or 1
+    if executor is not None:
+        chosen = "external"
+        shard_count = jobs if jobs is not None else cpus
+    elif backend == "auto":
+        chosen, shard_count = choose_backend(len(paths), jobs, cpus)
+    elif backend == "serial":
+        chosen, shard_count = "serial", 1
+    else:
+        chosen = backend
+        shard_count = jobs if jobs is not None else cpus
+        if shard_count <= 1 or len(paths) <= 1:
+            chosen, shard_count = "serial", 1
+    if recorder.enabled:
+        recorder.count(f"parallel.backend.{chosen}")
+    if chosen == "serial":
         return extract_from_paths(paths, recorder)
-    shards = shard_paths(paths, jobs)
+    shards = shard_paths(paths, shard_count)
 
     def _reduce(results: Iterable[object]) -> StreamingEvidence:
         if not recorder.enabled:
@@ -152,18 +321,16 @@ def parallel_evidence(
         worker, work = extract_from_paths, shards
     if executor is not None:
         return _reduce(executor.map(worker, work))
-    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    with pool_cls(max_workers=len(shards)) as pool:
-        # Executor.map preserves input order, so the reduce sees shards
-        # in corpus order regardless of completion order.
-        return _reduce(pool.map(worker, work))
+    # Executor.map preserves input order, so the reduce sees shards in
+    # corpus order regardless of completion order.
+    return _reduce(warm_pool(chosen).executor().map(worker, work))
 
 
 def infer_parallel(
     paths: Sequence[str],
     jobs: int | None = None,
     method: Method = "auto",
-    backend: Backend = "process",
+    backend: Backend = "auto",
     executor: Executor | None = None,
     inferencer: DTDInferencer | None = None,
 ) -> Dtd:

@@ -214,9 +214,14 @@ class TestResultAndRecorder:
         assert result.config.method == "auto"
 
     def test_recorder_sees_all_phases_batch(self, corpus):
+        # cache=False: a warm content-model cache legitimately skips the
+        # rewrite phase, and this test asserts a fresh derivation.
         recorder = StatsRecorder()
         result = infer(
-            corpus, config=InferenceConfig(method="idtd", recorder=recorder)
+            corpus,
+            config=InferenceConfig(
+                method="idtd", cache=False, recorder=recorder
+            ),
         )
         result.render()
         names = {span["name"] for span in recorder.snapshot()["spans"]}
@@ -224,8 +229,15 @@ class TestResultAndRecorder:
         assert recorder.counters["documents"] == len(corpus)
 
     def test_recorder_sees_shards_when_parallel(self, corpus):
+        # backend="thread": the auto cost model rightly picks serial for
+        # a corpus this small; this test is about shard snapshot merging.
         recorder = StatsRecorder()
-        infer(corpus, config=InferenceConfig(jobs=2, recorder=recorder))
+        infer(
+            corpus,
+            config=InferenceConfig(
+                jobs=2, backend="thread", recorder=recorder
+            ),
+        )
         spans = recorder.snapshot()["spans"]
         shard_tags = {
             span["shard"] for span in spans if span["shard"] is not None

@@ -84,6 +84,25 @@ class TestExitCodes:
             main(["infer", "--jobs", "0", *corpus_files])
         assert excinfo.value.code == 1
 
+    def test_negative_jobs_is_usage_error(self, corpus_files, capsys):
+        for jobs in ("-1", "-8"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["infer", "--jobs", jobs, *corpus_files])
+            assert excinfo.value.code == 1
+
+    def test_unknown_backend_is_usage_error(self, corpus_files, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer", "--backend", "cluster", *corpus_files])
+        assert excinfo.value.code == 1
+
+    def test_backend_without_streaming_is_usage_error(
+        self, corpus_files, capsys
+    ):
+        # An explicit pool choice on the batch path is contradictory:
+        # rejected by InferenceConfig, not silently ignored.
+        assert main(["infer", "--backend", "thread", *corpus_files]) == 1
+        assert "backend" in capsys.readouterr().err
+
     def test_nonexistent_input_path(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.xml")
         assert main(["infer", missing]) == 1
@@ -264,8 +283,10 @@ class TestStatsAndTrace:
         import json
 
         trace = tmp_path / "trace.jsonl"
+        # --no-cache: a warm content-model cache legitimately skips the
+        # rewrite phase, and this test asserts a fresh derivation.
         code = main(
-            ["dtd", "--streaming", "--method", "idtd",
+            ["dtd", "--streaming", "--method", "idtd", "--no-cache",
              "--trace", str(trace), *corpus_files]
         )
         assert code == 0
@@ -283,8 +304,11 @@ class TestStatsAndTrace:
         from repro.obs import validate_trace_file
 
         trace = tmp_path / "trace.jsonl"
+        # --backend thread: the auto cost model rightly picks serial for
+        # a corpus this small; this test is about shard span merging.
         assert main(
-            ["dtd", "--jobs", "2", "--trace", str(trace), *corpus_files]
+            ["dtd", "--jobs", "2", "--backend", "thread",
+             "--trace", str(trace), *corpus_files]
         ) == 0
         capsys.readouterr()
         assert validate_trace_file(str(trace)) == []
@@ -297,6 +321,22 @@ class TestStatsAndTrace:
         ]
         assert len(shard_spans) == 2
         assert {r["shard"] for r in shard_spans} == {0, 1}
+
+    def test_stats_shows_cache_counters_and_backend(
+        self, corpus_files, capsys
+    ):
+        assert main(
+            ["infer", "--streaming", "--stats", *corpus_files]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "cache.content_model" in err
+        assert "parallel.backend." in err
+
+    def test_no_cache_output_identical(self, corpus_files, capsys):
+        assert main(["infer", *corpus_files]) == 0
+        cached = capsys.readouterr().out
+        assert main(["infer", "--no-cache", *corpus_files]) == 0
+        assert capsys.readouterr().out == cached
 
     def test_stats_off_by_default(self, corpus_files, capsys):
         assert main(["dtd", *corpus_files]) == 0

@@ -6,12 +6,18 @@ import pytest
 
 from repro.core.inference import DTDInferencer
 from repro.datagen.xmlgen import XmlGenerator, serialize
+from repro.errors import UsageError
+from repro.obs.recorder import StatsRecorder
 from repro.runtime.parallel import (
+    MIN_DOCS_PER_SHARD,
+    PROCESS_CORPUS_FLOOR,
+    choose_backend,
     extract_from_paths,
     infer_parallel,
     merge_evidence,
     parallel_evidence,
     shard_paths,
+    warm_pool,
 )
 from repro.xmlio.dtd import parse_dtd
 from repro.xmlio.extract import extract_streaming_evidence
@@ -128,6 +134,48 @@ class TestParallelEvidence:
             dtd = infer_parallel(paths, jobs=2, backend="thread", method=method)
             assert dtd.render() == batch_dtd(paths, method)
 
+    def test_jobs_zero_or_negative_rejected(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 4)
+        for jobs in (0, -1, -4):
+            with pytest.raises(UsageError, match="positive"):
+                parallel_evidence(paths, jobs=jobs)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 2)
+        with pytest.raises(UsageError, match="backend"):
+            parallel_evidence(paths, backend="cluster")
+
+    def test_executor_with_explicit_backend_warns(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 6)
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            with pytest.warns(RuntimeWarning, match="precedence"):
+                evidence = parallel_evidence(
+                    paths, jobs=2, backend="process", executor=executor
+                )
+        assert evidence.document_count == 6
+
+    def test_executor_with_auto_backend_is_silent(self, tmp_path):
+        import warnings
+        from concurrent.futures import ThreadPoolExecutor
+
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 6)
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                evidence = parallel_evidence(paths, jobs=2, executor=executor)
+        assert evidence.document_count == 6
+
+    def test_backend_choice_is_counted(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 6)
+        recorder = StatsRecorder()
+        parallel_evidence(
+            paths, jobs=2, backend="thread", recorder=recorder
+        )
+        counters = recorder.snapshot()["counters"]
+        assert counters["parallel.backend.thread"] == 1
+
     def test_numeric_rejected_on_streaming_path(self, tmp_path):
         paths = write_corpus(tmp_path, DTD_SOURCES[0], 4)
         inferencer = DTDInferencer(numeric=True)
@@ -136,3 +184,75 @@ class TestParallelEvidence:
         )
         with pytest.raises(ValueError, match="full child-sequence sample"):
             inferencer.infer_from_streaming(evidence)
+
+
+class TestChooseBackend:
+    """The adaptive cost model: serial/thread/process from size × CPUs."""
+
+    def test_one_cpu_is_always_serial(self):
+        assert choose_backend(10_000, jobs=8, cpus=1) == ("serial", 1)
+
+    def test_tiny_corpus_is_serial(self):
+        # Below the per-shard work floor, dispatch costs more than it
+        # saves, whatever the CPU count.
+        docs = MIN_DOCS_PER_SHARD * 2 - 1
+        assert choose_backend(docs, jobs=None, cpus=16) == ("serial", 1)
+
+    def test_small_corpus_prefers_threads(self):
+        backend, shards = choose_backend(
+            PROCESS_CORPUS_FLOOR - 1, jobs=None, cpus=4
+        )
+        assert backend == "thread"
+        assert 2 <= shards <= 4
+
+    def test_large_corpus_prefers_processes(self):
+        backend, shards = choose_backend(
+            PROCESS_CORPUS_FLOOR * 4, jobs=None, cpus=4
+        )
+        assert backend == "process"
+        assert shards == 4
+
+    def test_shards_clamped_to_cpus(self):
+        _, shards = choose_backend(10_000, jobs=64, cpus=4)
+        assert shards == 4
+
+    def test_jobs_caps_shards(self):
+        _, shards = choose_backend(10_000, jobs=2, cpus=16)
+        assert shards == 2
+
+    def test_jobs_none_means_up_to_cpu_count(self):
+        _, shards = choose_backend(10_000, jobs=None, cpus=8)
+        assert shards == 8
+
+    def test_work_floor_limits_shards(self):
+        # 3 shards' worth of documents cannot justify 8 shards.
+        _, shards = choose_backend(
+            MIN_DOCS_PER_SHARD * 3, jobs=8, cpus=8
+        )
+        assert shards == 3
+
+    def test_auto_serial_fallback_end_to_end(self, tmp_path):
+        # On any host, 4 documents sit below the work floor: the auto
+        # backend must run serial (no shard spans, backend counted).
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 4)
+        recorder = StatsRecorder()
+        evidence = parallel_evidence(paths, recorder=recorder)
+        assert evidence.document_count == 4
+        counters = recorder.snapshot()["counters"]
+        assert counters["parallel.backend.serial"] == 1
+        assert "shards" not in counters
+
+
+class TestWarmPool:
+    def test_warm_pool_requires_known_kind(self):
+        with pytest.raises(UsageError):
+            warm_pool("serial")
+
+    def test_pool_reused_across_parallel_evidence_calls(self, tmp_path):
+        paths = write_corpus(tmp_path, DTD_SOURCES[0], 8)
+        pool = warm_pool("thread")
+        executor = pool.executor()
+        first = parallel_evidence(paths, jobs=2, backend="thread")
+        second = parallel_evidence(paths, jobs=2, backend="thread")
+        assert first.document_count == second.document_count == 8
+        assert pool.executor() is executor
