@@ -11,7 +11,10 @@ a CI step.  The rules:
   (or an in-module subclass of it); raising bare builtin exceptions
   loses the CLI exit-code mapping.
 * **R003** — no bare ``except:`` / ``except Exception:`` that swallows
-  without re-raising or bumping a recorder counter.
+  without re-raising or bumping a recorder counter; inside
+  ``repro/runtime/`` the same goes for swallowed ``KeyError`` /
+  ``IndexError`` / ``LookupError`` — those dicts are the runtime's own
+  shard/pool bookkeeping, so a silent miss is a hidden engine bug.
 * **R004** — no mutation of frozen-dataclass fields via
   ``object.__setattr__`` outside ``__post_init__``.
 * **R005** — no nondeterminism in the core pipeline: no module-level

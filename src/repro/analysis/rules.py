@@ -172,26 +172,53 @@ class TypedRaises(Rule):
                 )
 
 
+#: Lookup exceptions that, inside :mod:`repro.runtime`, almost always
+#: signal shard/pool *bookkeeping* bugs (a shard index or pool kind
+#: missing from a dict the runtime itself maintains).  Swallowing one
+#: there hides an engine bug; R003 requires the handler to re-raise
+#: (typically as InternalError naming the missing key) or count.
+RUNTIME_LOOKUP_NAMES = frozenset({"KeyError", "IndexError", "LookupError"})
+
+RUNTIME_PACKAGE_MARKER = "repro/runtime/"
+
+
 class NoSilentSwallow(Rule):
-    """R003: broad handlers must re-raise or count what they swallow."""
+    """R003: broad handlers must re-raise or count what they swallow.
+
+    Inside ``repro/runtime/`` the same requirement extends to lookup
+    exceptions (:data:`RUNTIME_LOOKUP_NAMES`): the runtime's dicts are
+    its own shard/pool bookkeeping, so a swallowed ``KeyError`` there
+    is a silently-ignored engine bug, not input handling.
+    """
 
     code = "R003"
     title = "no bare/broad except that silently swallows"
 
     @staticmethod
-    def _is_broad(handler: ast.ExceptHandler) -> bool:
+    def _handler_names(handler: ast.ExceptHandler) -> list[ast.expr]:
+        if handler.type is None:
+            return []
+        if isinstance(handler.type, ast.Tuple):
+            return list(handler.type.elts)
+        return [handler.type]
+
+    @classmethod
+    def _is_broad(cls, handler: ast.ExceptHandler) -> bool:
         if handler.type is None:
             return True
-        names = (
-            handler.type.elts
-            if isinstance(handler.type, ast.Tuple)
-            else [handler.type]
-        )
         return any(
             isinstance(name, ast.Name)
             and name.id in ("Exception", "BaseException")
-            for name in names
+            for name in cls._handler_names(handler)
         )
+
+    @classmethod
+    def _caught_lookups(cls, handler: ast.ExceptHandler) -> list[str]:
+        return [
+            name.id
+            for name in cls._handler_names(handler)
+            if isinstance(name, ast.Name) and name.id in RUNTIME_LOOKUP_NAMES
+        ]
 
     @staticmethod
     def _handles_visibly(handler: ast.ExceptHandler) -> bool:
@@ -207,10 +234,13 @@ class NoSilentSwallow(Rule):
         return False
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
+        in_runtime = RUNTIME_PACKAGE_MARKER in module.path.replace("\\", "/")
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
-            if self._is_broad(node) and not self._handles_visibly(node):
+            if self._handles_visibly(node):
+                continue
+            if self._is_broad(node):
                 label = "bare except" if node.type is None else "except Exception"
                 yield from self._emit(
                     module,
@@ -218,6 +248,15 @@ class NoSilentSwallow(Rule):
                     f"{label} swallows without re-raising or bumping a "
                     "recorder counter; narrow the exception type, re-raise, "
                     "or record the swallow",
+                )
+            elif in_runtime and (lookups := self._caught_lookups(node)):
+                yield from self._emit(
+                    module,
+                    node,
+                    f"except {'/'.join(sorted(lookups))} in repro/runtime/ "
+                    "swallows what is almost certainly a shard/pool "
+                    "bookkeeping bug; re-raise it as InternalError naming "
+                    "the missing key, or record the swallow",
                 )
 
 

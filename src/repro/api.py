@@ -33,8 +33,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
+from .contracts import contracts_enabled
 from .core.inference import (
     DEFAULT_SPARSE_THRESHOLD,
     DTDInferencer,
@@ -42,13 +44,16 @@ from .core.inference import (
     Method,
     apply_support_threshold,
 )
-from .errors import UsageError
+from .errors import CorpusError, UsageError
 from .obs.recorder import NULL_RECORDER, Recorder
 from .xmlio.dtd import Dtd
 from .xmlio.extract import StreamingEvidence, extract_evidence
 from .xmlio.parser import parse_document, parse_file
 from .xmlio.tree import Document
 from .xmlio.xsd import dtd_to_xsd
+
+if TYPE_CHECKING:
+    from .runtime.resilience import DegradationReport, FaultPlan, RetryPolicy
 
 Source = Document | str | os.PathLike[str] | Iterable["Document | str | os.PathLike[str]"]
 
@@ -85,6 +90,31 @@ class InferenceConfig:
             streaming/jobs.
         recorder: instrumentation sink (:mod:`repro.obs`); the default
             no-op recorder costs nearly nothing.
+        on_error: ``"strict"`` (the default) aborts on the first bad
+            document, exactly as inference always has; ``"skip"``
+            quarantines unparseable documents (recording path, cause
+            and offset), infers a partial DTD from the rest, and
+            attaches a machine-readable
+            :class:`~repro.runtime.resilience.DegradationReport` to
+            the result.
+        max_quarantine: with ``on_error="skip"``, the most documents
+            that may be quarantined before the run aborts with
+            :class:`~repro.errors.QuarantineExceeded` (``None``: no
+            cap).
+        shard_deadline: per-shard processing deadline in seconds for
+            pooled extraction; breaches are retried and, in strict
+            mode, eventually raise
+            :class:`~repro.errors.ShardTimeout`.  Best-effort on
+            thread pools (a hung thread cannot be interrupted).
+        faults: a deterministic fault-injection plan — a
+            :class:`~repro.runtime.resilience.FaultPlan`, a mapping or
+            JSON string of its fields, or ``None``.  When ``None``,
+            the ``REPRO_FAULTS`` environment variable is consulted
+            (same JSON shape), so whole test suites can run under a
+            canned plan.
+        retry: the :class:`~repro.runtime.resilience.RetryPolicy` for
+            failed shards (``None``: the default bounded-exponential
+            policy with deterministic jitter).
     """
 
     method: Method = "auto"
@@ -97,6 +127,11 @@ class InferenceConfig:
     cache: bool = True
     backend: str = "auto"
     recorder: Recorder = NULL_RECORDER
+    on_error: str = "strict"
+    max_quarantine: int | None = None
+    shard_deadline: float | None = None
+    faults: "FaultPlan | Mapping[str, object] | str | None" = None
+    retry: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "idtd", "crx"):
@@ -138,21 +173,78 @@ class InferenceConfig:
                 "it cannot be combined with streaming/jobs (use the batch "
                 "path)"
             )
+        if self.on_error not in ("strict", "skip"):
+            raise UsageError(
+                f"unknown on_error mode {self.on_error!r}: expected 'strict' "
+                "or 'skip'"
+            )
+        if self.max_quarantine is not None:
+            if self.on_error != "skip":
+                raise UsageError(
+                    "max_quarantine caps quarantined documents, which only "
+                    "exist with on_error='skip'"
+                )
+            if self.max_quarantine < 0:
+                raise UsageError(
+                    f"max_quarantine must be >= 0, got {self.max_quarantine}"
+                )
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise UsageError(
+                f"shard_deadline must be positive, got {self.shard_deadline}"
+            )
+        from .runtime.resilience import FaultPlan
+
+        faults = self.faults
+        if faults is None:
+            faults = FaultPlan.from_env()
+        elif isinstance(faults, str):
+            faults = FaultPlan.from_json(faults)
+        elif isinstance(faults, Mapping):
+            faults = FaultPlan.from_mapping(faults)
+        elif not isinstance(faults, FaultPlan):
+            raise UsageError(
+                f"faults must be a FaultPlan, a mapping, JSON text or None, "
+                f"got {type(faults).__name__}"
+            )
+        if faults is not None and not faults:
+            faults = None  # an all-empty plan injects nothing
+        object.__setattr__(self, "faults", faults)
 
     @property
     def effective_streaming(self) -> bool:
         """Whether the run uses the streaming pipeline (jobs implies it)."""
         return self.streaming or self.jobs is not None
 
+    @property
+    def resilient(self) -> bool:
+        """Whether the run engages the fault-tolerant runtime.
+
+        True for ``on_error="skip"``, an active fault plan, or a shard
+        deadline.  When False — the default — inference takes exactly
+        the code paths it took before the resilience layer existed.
+        """
+        return (
+            self.on_error == "skip"
+            or self.faults is not None
+            or self.shard_deadline is not None
+        )
+
 
 @dataclass
 class InferenceResult:
-    """What an inference run produced, plus how it got there."""
+    """What an inference run produced, plus how it got there.
+
+    ``degradation`` is ``None`` unless the resilient runtime ran
+    (``on_error="skip"``, a fault plan, or a shard deadline); when
+    present, ``degradation.degraded`` says whether anything was
+    actually skipped, retried or weakened.
+    """
 
     dtd: Dtd
     report: InferenceReport
     config: InferenceConfig
     recorder: Recorder = field(default=NULL_RECORDER, repr=False)
+    degradation: "DegradationReport | None" = None
 
     def render(self) -> str:
         """The DTD as text (identical to the legacy ``dtd.render()``)."""
@@ -197,6 +289,18 @@ def _expand_source(source: Source) -> list[Document | str]:
     )
 
 
+def _require_surviving_documents(
+    degradation: "DegradationReport | None", total: int
+) -> None:
+    """Quarantining *every* document is failure, not degradation."""
+    if degradation is not None and len(degradation.quarantined) >= total:
+        raise CorpusError(
+            f"all {total} documents were quarantined "
+            f"(first: {degradation.quarantined[0].path}: "
+            f"{degradation.quarantined[0].cause}); nothing left to infer from"
+        )
+
+
 def infer(
     source: Source, config: InferenceConfig | None = None
 ) -> InferenceResult:
@@ -219,6 +323,14 @@ def infer(
     from .regex.language import language_cache_info
 
     language_before = language_cache_info() if recorder.enabled else {}
+    degradation: DegradationReport | None = None
+    fault_plan: FaultPlan | None = None
+    if config.resilient:
+        from .runtime.resilience import DegradationReport
+
+        degradation = DegradationReport()
+        # __post_init__ normalized faults to FaultPlan | None.
+        fault_plan = config.faults  # type: ignore[assignment]
     inferencer = DTDInferencer(
         method=config.method,
         sparse_threshold=config.sparse_threshold,
@@ -226,12 +338,31 @@ def infer(
         infer_attributes=config.infer_attributes,
         recorder=recorder,
         cache=content_model_cache,
+        fault_plan=fault_plan,
+        # Strict mode fails hard on learner faults; only skip mode may
+        # degrade content models down the SORE → CHARE → ANY ladder.
+        degradation=degradation if config.on_error == "skip" else None,
     )
     items = _expand_source(source)
     if not items:
         raise UsageError("no documents to infer from")
     paths = [item for item in items if isinstance(item, str)]
     all_paths = len(paths) == len(items)
+
+    def _load(item: Document | str, index: int) -> Document | None:
+        if degradation is not None:
+            from .runtime.resilience import load_document
+
+            return load_document(
+                item,
+                index,
+                plan=fault_plan,
+                on_error=config.on_error,
+                report=degradation,
+                max_quarantine=config.max_quarantine,
+                recorder=recorder,
+            )
+        return item if isinstance(item, Document) else parse_file(item, recorder)
 
     if config.effective_streaming:
         if config.jobs is not None and config.jobs > 1 and not all_paths:
@@ -240,7 +371,22 @@ def infer(
                 "already-parsed documents and XML literals cannot be "
                 "shipped — pass file paths or drop jobs"
             )
-        if all_paths:
+        if all_paths and config.resilient:
+            from .runtime.resilience import resilient_evidence
+
+            evidence = resilient_evidence(
+                paths,
+                jobs=config.jobs,
+                backend=config.backend,
+                recorder=recorder,
+                plan=fault_plan,
+                policy=config.retry,
+                on_error=config.on_error,
+                max_quarantine=config.max_quarantine,
+                deadline=config.shard_deadline,
+                report=degradation,
+            )
+        elif all_paths:
             from .runtime.parallel import parallel_evidence
 
             evidence = parallel_evidence(
@@ -251,22 +397,23 @@ def infer(
             )
         else:
             evidence = StreamingEvidence()
-            for item in items:
-                document = (
-                    item
-                    if isinstance(item, Document)
-                    else parse_file(item, recorder)
-                )
+            for index, item in enumerate(items):
+                document = _load(item, index)
+                if document is None:
+                    continue
                 with recorder.span("extract"):
                     evidence.add_document(document, recorder)
+        _require_surviving_documents(degradation, len(items))
         if recorder.enabled:
             recorder.count("elements", len(evidence.elements))
         dtd = inferencer._finalize_streaming(evidence)
     else:
         documents = [
-            item if isinstance(item, Document) else parse_file(item, recorder)
-            for item in items
+            document
+            for index, item in enumerate(items)
+            if (document := _load(item, index)) is not None
         ]
+        _require_surviving_documents(degradation, len(items))
         with recorder.span("extract", documents=len(documents)):
             evidence = extract_evidence(documents, recorder=recorder)
         if config.support_threshold > 0:
@@ -275,6 +422,10 @@ def infer(
                     evidence, config.support_threshold, recorder
                 )
         dtd = inferencer._finalize_batch(evidence)
+    if degradation is not None and contracts_enabled():
+        from .contracts import check_degradation_report
+
+        check_degradation_report(degradation, dtd)
     if recorder.enabled:
         for cache_name, stats in language_cache_info().items():
             for key in ("hits", "misses"):
@@ -286,4 +437,5 @@ def infer(
         report=inferencer.report,
         config=config,
         recorder=recorder,
+        degradation=degradation,
     )

@@ -46,6 +46,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         set_contracts(True)
     wants_stats = args.stats or args.trace is not None
     recorder = StatsRecorder() if wants_stats else NULL_RECORDER
+    faults = None
+    if args.fault_plan is not None:
+        from .runtime.resilience import FaultPlan
+
+        faults = FaultPlan.from_cli(args.fault_plan)
     config = InferenceConfig(
         method=args.method,
         streaming=args.streaming,
@@ -56,12 +61,20 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         backend=args.backend,
         recorder=recorder,
+        on_error=args.on_error,
+        max_quarantine=args.max_quarantine,
+        shard_deadline=args.shard_deadline,
+        faults=faults,
     )
     result = infer(args.files, config=config)
     if args.format == "dtd":
         sys.stdout.write(result.render())
     else:
         sys.stdout.write(result.to_xsd())
+    if result.degradation is not None and result.degradation.degraded:
+        from .obs.report import format_degradation
+
+        print(format_degradation(result.degradation.to_dict()), file=sys.stderr)
     if wants_stats:
         snapshot = recorder.snapshot()
         if args.trace is not None:
@@ -223,6 +236,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the fingerprint-keyed content-model cache and "
         "derive every expression fresh",
+    )
+    infer.add_argument(
+        "--on-error",
+        choices=("strict", "skip"),
+        default="strict",
+        help="strict (default): abort on the first unreadable document; "
+        "skip: quarantine it, infer a partial DTD from the rest, and "
+        "report the degradation on stderr",
+    )
+    infer.add_argument(
+        "--max-quarantine",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --on-error skip: abort (QuarantineExceeded, exit 1) "
+        "once more than N documents have been quarantined",
+    )
+    infer.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard processing deadline for pooled extraction; "
+        "breaches are retried, then raise ShardTimeout (strict) or "
+        "reshard serially (skip)",
+    )
+    infer.add_argument(
+        "--fault-plan",
+        metavar="JSON|@FILE",
+        default=None,
+        help="deterministic fault injection for testing the resilient "
+        "runtime: inline JSON or @path to a JSON file with "
+        "worker_crashes/shard_timeouts/corrupt_docs/element_failures "
+        "(see repro.runtime.resilience.FaultPlan; REPRO_FAULTS env "
+        "works too)",
     )
     infer.add_argument(
         "--check",

@@ -48,11 +48,14 @@ if TYPE_CHECKING:
     from .automata.gfa import GFA
     from .automata.soa import SOA
     from .regex.ast import Regex
+    from .runtime.resilience import DegradationReport
+    from .xmlio.dtd import Dtd
     from .xmlio.extract import StreamingEvidence
 
 __all__ = [
     "ContractViolation",
     "check_cached_content_model",
+    "check_degradation_report",
     "check_emitted_chare",
     "check_emitted_sore",
     "check_gfa",
@@ -263,6 +266,71 @@ def check_cached_content_model(
             f"differs from a fresh derivation ({fresh}); the cache "
             "fingerprint does not cover every learner input",
         )
+
+
+# -- degradation-report invariants (resilient runtime) ------------------------
+
+#: The learner fallback steps the specificity ladder permits: SOREs
+#: degrade to CHAREs, and either learner's last resort is ``ANY``.
+_VALID_FALLBACK_STEPS = frozenset(
+    {("idtd", "crx"), ("idtd", "any"), ("crx", "any")}
+)
+
+
+def check_degradation_report(report: DegradationReport, dtd: Dtd) -> None:
+    """A degradation report must be consistent with the DTD it annotates.
+
+    Quarantine entries carry a path and a cause (an unexplained skip is
+    useless for triage); retried-shard entries are unique with sane
+    counts; every fallback names an element that actually exists in
+    the DTD, steps down the specificity ladder in a permitted
+    direction, and — when it claims the element fell all the way to
+    ``ANY`` — the DTD really does declare that element ``ANY``.
+    """
+    from .xmlio.dtd import Any as AnyContent
+
+    for entry in report.quarantined:
+        if not entry.path or not entry.cause:
+            raise _violated(
+                "resilience.quarantine-complete",
+                f"quarantine entry missing path or cause: {entry!r}",
+            )
+    seen_shards = set()
+    for retry in report.retried_shards:
+        if retry.shard < 0 or retry.attempts < 1:
+            raise _violated(
+                "resilience.retry-sane",
+                f"retry entry with impossible shard/attempts: {retry!r}",
+            )
+        if retry.shard in seen_shards:
+            raise _violated(
+                "resilience.retry-unique",
+                f"shard {retry.shard} reported as retried more than once",
+            )
+        seen_shards.add(retry.shard)
+    for fallback in report.fallbacks:
+        if fallback.element not in dtd.elements:
+            raise _violated(
+                "resilience.fallback-element-exists",
+                f"fallback for element {fallback.element!r} which the DTD "
+                "does not declare",
+            )
+        step = (fallback.from_method, fallback.to_method)
+        if step not in _VALID_FALLBACK_STEPS:
+            raise _violated(
+                "resilience.fallback-ordering",
+                f"fallback {fallback.from_method!r} → "
+                f"{fallback.to_method!r} for {fallback.element!r} is not a "
+                "step down the SORE → CHARE → ANY ladder",
+            )
+        if fallback.to_method == "any" and not isinstance(
+            dtd.elements[fallback.element], AnyContent
+        ):
+            raise _violated(
+                "resilience.fallback-vs-dtd",
+                f"report says element {fallback.element!r} fell back to ANY "
+                f"but the DTD declares {dtd.elements[fallback.element]!r}",
+            )
 
 
 # -- streaming-fold invariants (Section 9) -----------------------------------

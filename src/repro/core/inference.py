@@ -42,6 +42,7 @@ from ..regex.ast import Opt, Regex
 from ..regex.normalize import normalize
 from ..xmlio import extract as evidence_module
 from ..xmlio.datatypes import sniff_type
+from ..xmlio.dtd import Any as AnyContent
 from ..xmlio.dtd import AttributeDef, Children, Dtd, Empty, Mixed
 from ..xmlio.extract import (
     CorpusEvidence,
@@ -58,6 +59,7 @@ from .numeric import annotate_numeric
 
 if TYPE_CHECKING:
     from ..runtime.cache import CacheKey, ContentModelCache
+    from ..runtime.resilience import DegradationReport, FaultPlan
 
 Method = Literal["idtd", "crx", "auto"]
 
@@ -97,6 +99,19 @@ class DTDInferencer:
             fingerprint of the merged learner state.  ``None`` (the
             default) derives every content model fresh; the façade
             passes the process-wide cache unless ``cache=False``.
+        fault_plan: an optional
+            :class:`repro.runtime.resilience.FaultPlan` whose
+            element-failure entries make chosen learners raise — the
+            deterministic injection hook the resilience tests drive.
+            Plans with element failures also salt the content-model
+            cache key (degraded derivations never leak into, or out
+            of, fault-free runs).
+        degradation: an optional
+            :class:`repro.runtime.resilience.DegradationReport`.  When
+            set, a failing learner *falls back* down the paper's
+            specificity ladder (SORE → CHARE → ``ANY``) and records
+            the fallback there; when ``None`` (strict), learner
+            failures propagate exactly as they always have.
     """
 
     def __init__(
@@ -107,6 +122,8 @@ class DTDInferencer:
         infer_attributes: bool = True,
         recorder: Recorder | None = None,
         cache: ContentModelCache | None = None,
+        fault_plan: FaultPlan | None = None,
+        degradation: DegradationReport | None = None,
     ) -> None:
         if method not in ("idtd", "crx", "auto"):
             raise UsageError(f"unknown method {method!r}")
@@ -116,6 +133,11 @@ class DTDInferencer:
         self.infer_attributes = infer_attributes
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.cache = cache
+        self.fault_plan = fault_plan
+        self.degradation = degradation
+        self._cache_salt: tuple[object, ...] = (
+            fault_plan.learner_salt() if fault_plan is not None else ()
+        )
         self.report = InferenceReport()
 
     # -- learner selection ---------------------------------------------------
@@ -134,8 +156,16 @@ class DTDInferencer:
 
         ``SAMPLE_CAP`` is looked up through the module so runs under a
         patched cap (tests, ablations) never alias cached entries.
+        When a fault plan injects learner failures the key also carries
+        the plan (:meth:`repro.runtime.resilience.FaultPlan.learner_salt`):
+        those faults change the state→expression mapping, so their
+        entries must never alias fault-free ones.
         """
-        return (method, evidence_module.SAMPLE_CAP, state_fingerprint)
+        return (
+            method,
+            evidence_module.SAMPLE_CAP,
+            state_fingerprint,
+        ) + self._cache_salt
 
     def _memoized(
         self,
@@ -166,10 +196,14 @@ class DTDInferencer:
         return regex
 
     def _learn_regex(
-        self, name: str, words: WordBag | Sequence[tuple[str, ...]]
+        self,
+        name: str,
+        words: WordBag | Sequence[tuple[str, ...]],
+        method: str | None = None,
     ) -> tuple[Regex, str]:
         sample = words if isinstance(words, WordBag) else WordBag(words)
-        method = self._pick_method(sample.nonempty_total)
+        if method is None:
+            method = self._pick_method(sample.nonempty_total)
         recorder = self.recorder
         # Both learners are insensitive to word order and (for their
         # structural part) to multiplicities, so learning runs over the
@@ -204,6 +238,60 @@ class DTDInferencer:
             regex = annotate_numeric(regex, sample.distinct_words())
         return regex, method
 
+    def _derive_children(
+        self,
+        name: str,
+        nonempty_count: int,
+        learn: Callable[[str], Regex],
+    ) -> tuple[Regex | None, str]:
+        """Run the learner ladder for ``name``; ``None`` means ``ANY``.
+
+        With no degradation report attached (strict mode, the default)
+        this is exactly one ``learn(primary)`` call and failures
+        propagate untouched.  With one, a failing learner — injected
+        via the fault plan or a genuine :class:`CorpusError` — falls
+        down the paper's specificity ladder
+        (:data:`repro.runtime.resilience.FALLBACK_ORDER`): SORE to
+        CHARE to ``ANY``, recording each step.  Injection is checked
+        *before* ``learn`` runs so a warm content-model cache can never
+        mask an injected failure.
+        """
+        # Lazy: core.inference must not import repro.runtime at module
+        # level (runtime.parallel imports this module right back).
+        from ..runtime.resilience import (
+            FALLBACK_ORDER,
+            ElementFallback,
+            InjectedElementFailure,
+        )
+
+        ladder = FALLBACK_ORDER[self._pick_method(nonempty_count)]
+        for position, method in enumerate(ladder):
+            fallback_to = (
+                ladder[position + 1] if position + 1 < len(ladder) else "any"
+            )
+            try:
+                if self.fault_plan is not None and self.fault_plan.fails_element(
+                    name, method
+                ):
+                    raise InjectedElementFailure(
+                        f"injected fault: {method} learner failure for "
+                        f"element {name!r}"
+                    )
+                return learn(method), method
+            except (CorpusError, InjectedElementFailure) as exc:
+                if self.degradation is None:
+                    raise
+                self.degradation.add_fallback(
+                    ElementFallback(
+                        element=name,
+                        from_method=method,
+                        to_method=fallback_to,
+                        cause=str(exc),
+                    ),
+                    self.recorder,
+                )
+        return None, "any"
+
     # -- content model per element --------------------------------------------
 
     def _wrap_optional(self, regex: Regex, saw_empty: bool) -> Regex:
@@ -213,7 +301,7 @@ class DTDInferencer:
 
     def _content_model(
         self, evidence: ElementEvidence
-    ) -> Children | Mixed | Empty:
+    ) -> Children | Mixed | Empty | AnyContent:
         sample = evidence.child_sequences
         has_children = sample.nonempty_total > 0
         if evidence.has_text and has_children:
@@ -231,7 +319,14 @@ class DTDInferencer:
         if not has_children:
             self.report.method_used[evidence.name] = "empty"
             return Empty()
-        regex, method = self._learn_regex(evidence.name, sample)
+        regex, method = self._derive_children(
+            evidence.name,
+            sample.nonempty_total,
+            lambda chosen: self._learn_regex(evidence.name, sample, chosen)[0],
+        )
+        if regex is None:
+            self.report.method_used[evidence.name] = "any"
+            return AnyContent()
         regex = self._wrap_optional(regex, sample.has_empty())
         if contracts_enabled():
             check_content_model(regex, evidence.name)
@@ -240,7 +335,7 @@ class DTDInferencer:
 
     def _content_model_streaming(
         self, evidence: StreamingElementEvidence
-    ) -> Children | Mixed | Empty:
+    ) -> Children | Mixed | Empty | AnyContent:
         has_children = evidence.nonempty_count > 0
         if evidence.has_text and has_children:
             self.report.method_used[evidence.name] = "mixed"
@@ -254,19 +349,22 @@ class DTDInferencer:
         if not has_children:
             self.report.method_used[evidence.name] = "empty"
             return Empty()
-        method = self._pick_method(evidence.nonempty_count)
         recorder = self.recorder
-        derive: Callable[[], Regex]
-        if method == "crx":
 
-            def derive_chare() -> Regex:
-                with recorder.span("crx", element=evidence.name):
-                    return evidence.crx.infer(recorder=recorder)
+        def learn(method: str) -> Regex:
+            if method == "crx":
 
-            derive = derive_chare
-            learner_method = "crx"
-            fingerprint = evidence.crx.state.fingerprint
-        else:
+                def derive_chare() -> Regex:
+                    with recorder.span("crx", element=evidence.name):
+                        return evidence.crx.infer(recorder=recorder)
+
+                return self._memoized(
+                    "crx",
+                    evidence.crx.state.fingerprint,
+                    derive_chare,
+                    evidence.name,
+                )
+
             # The SOA itself was built during extraction (its fold time
             # shows up under the streaming ``soa`` aggregate spans);
             # what remains here is the Section 5/6 rewrite + repair.
@@ -274,10 +372,16 @@ class DTDInferencer:
                 with recorder.span("rewrite", element=evidence.name):
                     return evidence.soa.infer(recorder=recorder)
 
-            derive = derive_sore
-            learner_method = "idtd"
-            fingerprint = evidence.soa.soa.fingerprint
-        regex = self._memoized(learner_method, fingerprint, derive, evidence.name)
+            return self._memoized(
+                "idtd", evidence.soa.soa.fingerprint, derive_sore, evidence.name
+            )
+
+        regex, method = self._derive_children(
+            evidence.name, evidence.nonempty_count, learn
+        )
+        if regex is None:
+            self.report.method_used[evidence.name] = "any"
+            return AnyContent()
         regex = self._wrap_optional(regex, evidence.empty_count > 0)
         if contracts_enabled():
             check_content_model(regex, evidence.name)

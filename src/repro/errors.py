@@ -42,6 +42,27 @@ class CorpusError(ReproError, ValueError):
     samples with no learnable content."""
 
 
+class QuarantineExceeded(CorpusError):
+    """Too much of the corpus was quarantined for graceful degradation.
+
+    Raised by the resilient runtime (:mod:`repro.runtime.resilience`)
+    when ``on_error="skip"`` runs past ``max_quarantine=`` skipped
+    documents: at that point the sample is too broken for a partial
+    DTD to mean anything, which makes it an input problem (exit 1).
+    """
+
+
+class ShardTimeout(CorpusError):
+    """A corpus shard kept exceeding its processing deadline.
+
+    In strict mode a shard that breaches ``shard_deadline`` on every
+    retry surfaces as this error rather than completing arbitrarily
+    late.  A pathological document that cannot be processed in time is
+    an input problem (exit 1), not an engine bug; ``on_error="skip"``
+    degrades by resharding in-driver instead of raising.
+    """
+
+
 class InternalError(ReproError, RuntimeError):
     """A bug in the engine — supposedly-unreachable states."""
 
@@ -67,7 +88,9 @@ __all__ = [
     "EXIT_USAGE",
     "CorpusError",
     "InternalError",
+    "QuarantineExceeded",
     "ReproError",
+    "ShardTimeout",
     "UsageError",
     "exit_code_for",
 ]

@@ -115,6 +115,36 @@ def format_stats(snapshot: Snapshot) -> str:
     return "\n".join(lines)
 
 
+def format_degradation(degradation: dict[str, Any]) -> str:
+    """A stderr summary of a :class:`DegradationReport`'s ``to_dict()``.
+
+    Rendered by the CLI after a resilient run so a human sees at a
+    glance what was skipped, retried and weakened; the full
+    machine-readable detail stays on the report object.
+    """
+    quarantined = degradation.get("quarantined", [])
+    retried = degradation.get("retried_shards", [])
+    fallbacks = degradation.get("fallbacks", [])
+    lines = [
+        f"degraded run: {len(quarantined)} quarantined, "
+        f"{len(retried)} retried shard(s), {len(fallbacks)} fallback(s)"
+    ]
+    for entry in quarantined:
+        lines.append(f"  quarantined {entry['path']}: {entry['cause']}")
+    for entry in retried:
+        suffix = ", resharded serial" if entry.get("resharded") else ""
+        lines.append(
+            f"  retried shard {entry['shard']} ({entry['reason']}, "
+            f"{entry['attempts']} attempts{suffix})"
+        )
+    for entry in fallbacks:
+        lines.append(
+            f"  element {entry['element']}: {entry['from']} fell back to "
+            f"{entry['to']} ({entry['cause']})"
+        )
+    return "\n".join(lines)
+
+
 def iter_trace_lines(snapshot: Snapshot) -> Iterator[str]:
     """The JSON-lines trace: span lines, then one summary line."""
     for span in snapshot.get("spans", ()):
@@ -157,6 +187,7 @@ def summary_dict(snapshot: Snapshot) -> dict[str, Any]:
 
 __all__ = [
     "PHASE_ORDER",
+    "format_degradation",
     "format_stats",
     "iter_trace_lines",
     "peak_rss_of",

@@ -12,6 +12,11 @@
   down at exit (:func:`shutdown_warm_pools`).
 * :class:`ContentModelCache` — the fingerprint-keyed LRU memoizing the
   per-element finalize step (see :mod:`repro.runtime.cache`).
+* :func:`resilient_evidence` / :class:`FaultPlan` /
+  :class:`RetryPolicy` / :class:`DegradationReport` — the
+  fault-tolerance layer: per-shard deadlines and retries, worker-crash
+  recovery, document quarantine, deterministic fault injection (see
+  :mod:`repro.runtime.resilience`).
 * :func:`infer_parallel` — deprecated; use
   ``repro.api.infer(paths, config=InferenceConfig(jobs=N))``.
 """
@@ -36,13 +41,30 @@ from .parallel import (
     shutdown_warm_pools,
     warm_pool,
 )
+from .resilience import (
+    DEFAULT_RETRY_POLICY,
+    DegradationReport,
+    ElementFallback,
+    FaultPlan,
+    QuarantinedDocument,
+    RetryPolicy,
+    ShardRetry,
+    resilient_evidence,
+)
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_RETRY_POLICY",
     "MIN_DOCS_PER_SHARD",
     "PROCESS_CORPUS_FLOOR",
     "ContentModelCache",
+    "DegradationReport",
+    "ElementFallback",
+    "FaultPlan",
+    "QuarantinedDocument",
+    "RetryPolicy",
+    "ShardRetry",
     "WorkerPool",
     "choose_backend",
     "extract_from_paths",
@@ -51,6 +73,7 @@ __all__ = [
     "merge_evidence",
     "parallel_evidence",
     "reset_global_content_model_cache",
+    "resilient_evidence",
     "shard_paths",
     "shutdown_warm_pools",
     "warm_pool",

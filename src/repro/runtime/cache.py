@@ -22,7 +22,15 @@ every hit under ``REPRO_CHECKS=1``).
 
 Keys embed the learner method and the active reservoir cap alongside
 the state fingerprint, so runs that differ in either never share
-entries.  Entries live in an LRU with explicit invalidation
+entries.  Degraded runs are covered the same way: a fault plan that
+injects *learner* failures changes the state→expression mapping, so
+such plans salt the key with themselves
+(:meth:`repro.runtime.resilience.FaultPlan.learner_salt` via
+``DTDInferencer._cache_key``) — degraded derivations never alias
+fault-free ones in either direction.  Quarantine and crash recovery
+need no salt: the fingerprint of the merged learner state already
+reflects exactly which documents contributed.  Entries live in an LRU
+with explicit invalidation
 (:meth:`ContentModelCache.invalidate`); a process-wide instance
 (:func:`global_content_model_cache`) is shared across
 :func:`repro.api.infer` calls so repeated inferences stop re-deriving
@@ -41,7 +49,8 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Regex
 
 #: A content-model cache key: ``(method, reservoir cap, state
-#: fingerprint)``.  The fingerprint component comes from
+#: fingerprint)``, extended with the fault plan's learner salt when a
+#: plan injects element failures.  The fingerprint component comes from
 #: :meth:`repro.automata.soa.SOA.fingerprint` or
 #: :meth:`repro.core.crx.CrxState.fingerprint`.
 CacheKey = tuple[object, ...]

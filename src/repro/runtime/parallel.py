@@ -41,12 +41,18 @@ from __future__ import annotations
 import atexit
 import os
 import warnings
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from collections.abc import Iterable, Sequence
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import TypeVar
+from collections.abc import Callable, Iterable, Sequence
 
 from ..contracts import check_merge_commutative, contracts_enabled
 from ..core.inference import DTDInferencer, Method
-from ..errors import UsageError
+from ..errors import InternalError, UsageError
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
 from ..xmlio.extract import StreamingEvidence
@@ -154,13 +160,20 @@ _WARM_POOLS: dict[str, WorkerPool] = {
 
 
 def warm_pool(kind: Backend) -> WorkerPool:
-    """The process-wide warm pool for ``kind`` (``process``/``thread``)."""
+    """The process-wide warm pool for ``kind`` (``process``/``thread``).
+
+    Every caller resolves ``kind`` through validated backend selection
+    first, so a miss here is runtime bookkeeping gone wrong (a shard
+    scheduled against a pool kind that was never provisioned), not a
+    user mistake — hence :class:`~repro.errors.InternalError`.
+    """
     try:
         return _WARM_POOLS[kind]
     except KeyError:
-        raise UsageError(
-            f"no warm pool for backend {kind!r}; expected 'process' or "
-            "'thread'"
+        raise InternalError(
+            f"no warm pool provisioned for backend {kind!r} (pools exist "
+            f"for: {', '.join(sorted(_WARM_POOLS))}); backend selection "
+            "should have rejected this kind before dispatch"
         ) from None
 
 
@@ -228,6 +241,48 @@ def _extract_shard_recorded(
     with recorder.span("shard", index=index, files=len(paths)):
         evidence = extract_from_paths(paths, recorder)
     return evidence, recorder.snapshot()
+
+
+_TaskT = TypeVar("_TaskT")
+_ResultT = TypeVar("_ResultT")
+
+
+def _pooled_results(
+    pool: WorkerPool,
+    worker: Callable[[_TaskT], _ResultT],
+    work: Sequence[_TaskT],
+) -> list[_ResultT]:
+    """Run ``work`` on the warm pool, surviving one worker death per task.
+
+    The ``executor.map`` this replaces surfaced a dead process-pool
+    worker as ``BrokenProcessPool`` for the *entire* batch.  Here each
+    task's future is gathered individually: a broken pool is healed
+    (:meth:`WorkerPool.executor` rebuilds it) and the task resubmitted
+    once.  A second break on the same task means the failure travels
+    *with the task* — a worker-killing bug, not a transient — and
+    surfaces as :class:`~repro.errors.InternalError` naming the shard.
+    Results come back in submission order, like ``map``.
+
+    Richer policies (bounded retries with backoff, per-shard deadlines,
+    reshard-to-serial, fault injection) live in
+    :func:`repro.runtime.resilience.resilient_evidence`, which callers
+    opt into via ``on_error=`` / fault plans.
+    """
+    futures = [pool.executor().submit(worker, task) for task in work]
+    results: list[_ResultT] = []
+    for index, task in enumerate(work):
+        try:
+            results.append(futures[index].result())
+        except BrokenExecutor:
+            try:
+                results.append(pool.executor().submit(worker, task).result())
+            except BrokenExecutor:
+                raise InternalError(
+                    f"worker pool broke twice while processing shard "
+                    f"{index}: the failure reproduces on resubmission, so "
+                    "a worker-killing bug travels with this shard's input"
+                ) from None
+    return results
 
 
 def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:
@@ -315,15 +370,25 @@ def parallel_evidence(
             recorder.count("shards")
         return merged
 
-    if recorder.enabled:
-        worker, work = _extract_shard_recorded, list(enumerate(shards))
-    else:
-        worker, work = extract_from_paths, shards
+    # Both dispatch routes preserve input order, so the reduce sees
+    # shards in corpus order regardless of completion order.  The warm
+    # pools additionally recover from a dead worker (resubmit once,
+    # see _pooled_results); a caller-supplied executor is the caller's
+    # to heal, so it keeps plain map semantics.
     if executor is not None:
-        return _reduce(executor.map(worker, work))
-    # Executor.map preserves input order, so the reduce sees shards in
-    # corpus order regardless of completion order.
-    return _reduce(warm_pool(chosen).executor().map(worker, work))
+        if recorder.enabled:
+            return _reduce(
+                executor.map(_extract_shard_recorded, list(enumerate(shards)))
+            )
+        return _reduce(executor.map(extract_from_paths, shards))
+    pool = warm_pool(chosen)
+    if recorder.enabled:
+        return _reduce(
+            _pooled_results(
+                pool, _extract_shard_recorded, list(enumerate(shards))
+            )
+        )
+    return _reduce(_pooled_results(pool, extract_from_paths, shards))
 
 
 def infer_parallel(

@@ -1,0 +1,949 @@
+"""Fault tolerance for the inference runtime (quarantine, retry, faults).
+
+Real-world XML corpora are exactly the "non-representative, noisy"
+samples the paper's repair rules exist for: crawled documents fail
+strict parsing, worker processes die, and the occasional pathological
+element can blow past any time budget.  Before this module, any one of
+those aborted the whole :func:`repro.api.infer` call.  This module
+makes inference *degrade* instead of abort, along four axes:
+
+* **document quarantine** — in ``on_error="skip"`` mode a document
+  that cannot be parsed (malformed XML, bad encoding, missing file) is
+  recorded with its cause and offset, skipped, and reported; the run
+  returns a partial DTD that is byte-identical to inferring the corpus
+  *minus* the quarantined documents (degradation ≡ deletion, see
+  ``tests/property/test_degradation.py``).  A cap
+  (``max_quarantine=``) turns "too much of the corpus is broken" into
+  :class:`~repro.errors.QuarantineExceeded`.
+* **worker-crash recovery** — a dead process-pool worker heals the
+  warm pool and resubmits the shard instead of surfacing
+  ``BrokenProcessPool``; a shard that keeps failing is re-sharded down
+  to per-document serial processing in the driver, so a single bad
+  shard never takes down the run.
+* **per-shard deadlines and retries** — shard waits are bounded by
+  ``shard_deadline`` and failures retried under a bounded-exponential
+  :class:`RetryPolicy` whose jitter is *deterministic* (seeded from
+  ``(seed, shard, attempt)``), so retry schedules are reproducible.
+* **deterministic fault injection** — a :class:`FaultPlan` (from
+  ``InferenceConfig(faults=...)``, ``--fault-plan``, or the
+  ``REPRO_FAULTS`` environment variable) injects worker crashes, shard
+  timeouts, corrupt documents and per-element learner failures at
+  chosen points.  The same hook drives the crash/timeout/quarantine
+  test suite (``tests/runtime/test_resilience.py``) and the CI
+  ``resilience`` job.
+
+Everything observable about a degraded run lands in a machine-readable
+:class:`DegradationReport` (quarantined documents, retried shards,
+elements that fell back from SORE to CHARE to ``ANY`` under the
+paper's specificity ordering), surfaced on
+:class:`~repro.api.InferenceResult.degradation` and as
+``resilience.*`` counters under ``--stats``.
+
+Cache interaction: quarantine and crash recovery never poison the
+content-model cache — its keys fingerprint the merged learner state,
+which already reflects any skipped documents.  Injected *learner*
+failures are the one fault that changes the state→expression mapping,
+so active element-failure plans salt the cache key with the plan
+(:meth:`FaultPlan.learner_salt`); degraded derivations are never
+served to fault-free runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
+from random import Random
+from time import sleep
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from ..contracts import check_merge_commutative, contracts_enabled
+from ..errors import (
+    CorpusError,
+    InternalError,
+    QuarantineExceeded,
+    ReproError,
+    ShardTimeout,
+    UsageError,
+)
+from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
+from ..xmlio.extract import StreamingEvidence
+from ..xmlio.parser import ParseFailure, parse_file, try_parse_file
+from ..xmlio.tree import Document
+
+if TYPE_CHECKING:
+    from .parallel import WorkerPool
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "DegradationReport",
+    "ElementFallback",
+    "FaultPlan",
+    "InjectedElementFailure",
+    "InjectedShardTimeout",
+    "InjectedWorkerCrash",
+    "QuarantinedDocument",
+    "RetryPolicy",
+    "ShardRetry",
+    "load_document",
+    "resilient_evidence",
+]
+
+#: Exit status an injected process-worker crash dies with; chosen to be
+#: distinctive in pool diagnostics (``os._exit``, no cleanup — exactly
+#: what a segfaulting worker looks like to the pool).
+CRASH_EXIT_STATUS = 97
+
+#: Fallback ordering per the paper's specificity ladder: SOREs are the
+#: most specific class, CHAREs generalize them, ``ANY`` gives up.  A
+#: failed learner falls to the next entry; after the last comes ``ANY``.
+FALLBACK_ORDER: dict[str, tuple[str, ...]] = {
+    "idtd": ("idtd", "crx"),
+    "crx": ("crx",),
+}
+
+
+class InjectedWorkerCrash(InternalError):
+    """A :class:`FaultPlan`-injected worker crash (thread/serial form).
+
+    Process-pool workers crash for real (``os._exit``); backends that
+    share the driver's process signal the same fault with this
+    exception so every backend exercises the same recovery path.
+    """
+
+
+class InjectedShardTimeout(InternalError):
+    """A :class:`FaultPlan`-injected shard deadline breach."""
+
+
+class InjectedElementFailure(InternalError):
+    """A :class:`FaultPlan`-injected per-element learner failure."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic, seedable jitter.
+
+    ``delay(shard, attempt)`` is a pure function of the policy and its
+    arguments: the jitter for attempt ``k`` of shard ``s`` comes from
+    ``Random(f"{seed}:{s}:{k}")``, so a retried run replays the exact
+    same schedule — flaky-looking timing differences cannot creep into
+    the fault-injection tests.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise UsageError(
+                f"retry max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise UsageError("retry backoff must be >= 0")
+
+    def delay(self, shard: int, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        bounded = min(
+            self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+        )
+        jitter = Random(f"{self.seed}:{shard}:{attempt}").random()
+        return bounded * (0.5 + 0.5 * jitter)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def _frozen_ints(values: Iterable[object], label: str) -> frozenset[int]:
+    out = set()
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise UsageError(
+                f"fault plan {label} entries must be non-negative integers, "
+                f"got {value!r}"
+            )
+        out.add(value)
+    return frozenset(out)
+
+
+def _frozen_names(values: Iterable[object], label: str) -> frozenset[str]:
+    out = set()
+    for value in values:
+        if not isinstance(value, str) or not value:
+            raise UsageError(
+                f"fault plan {label} entries must be non-empty element "
+                f"names, got {value!r}"
+            )
+        out.add(value)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic description of which faults fire where.
+
+    Shard faults (``worker_crashes``, ``shard_timeouts``) name shard
+    indices and fire on the first ``attempts`` attempts of that shard,
+    then clear — so retries make progress by construction.  Document
+    faults (``corrupt_docs``) name corpus positions (the index of the
+    document in the expanded source list).  Element faults name element
+    names whose primary learner (``element_failures``: iDTD only) or
+    every learner (``element_failures_hard``) raises, driving the
+    SORE → CHARE → ANY fallback ordering.
+    """
+
+    worker_crashes: frozenset[int] = frozenset()
+    shard_timeouts: frozenset[int] = frozenset()
+    corrupt_docs: frozenset[int] = frozenset()
+    element_failures: frozenset[str] = frozenset()
+    element_failures_hard: frozenset[str] = frozenset()
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "worker_crashes",
+            _frozen_ints(self.worker_crashes, "worker_crashes"),
+        )
+        object.__setattr__(
+            self,
+            "shard_timeouts",
+            _frozen_ints(self.shard_timeouts, "shard_timeouts"),
+        )
+        object.__setattr__(
+            self, "corrupt_docs", _frozen_ints(self.corrupt_docs, "corrupt_docs")
+        )
+        object.__setattr__(
+            self,
+            "element_failures",
+            _frozen_names(self.element_failures, "element_failures"),
+        )
+        object.__setattr__(
+            self,
+            "element_failures_hard",
+            _frozen_names(self.element_failures_hard, "element_failures_hard"),
+        )
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise UsageError(
+                f"fault plan attempts must be >= 1, got {self.attempts!r}"
+            )
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.worker_crashes
+            or self.shard_timeouts
+            or self.corrupt_docs
+            or self.element_failures
+            or self.element_failures_hard
+        )
+
+    # -- queries (the runtime asks, the plan answers) -------------------------
+
+    def crashes(self, shard: int, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (0-based) of ``shard`` crashes."""
+        return shard in self.worker_crashes and attempt < self.attempts
+
+    def times_out(self, shard: int, attempt: int) -> bool:
+        return shard in self.shard_timeouts and attempt < self.attempts
+
+    def corrupts(self, doc_index: int) -> bool:
+        return doc_index in self.corrupt_docs
+
+    def fails_element(self, name: str, method: str) -> bool:
+        if name in self.element_failures_hard:
+            return True
+        return method == "idtd" and name in self.element_failures
+
+    def learner_salt(self) -> tuple[object, ...]:
+        """The cache-key salt for plans that alter learner output.
+
+        Only element-failure faults change the (state → expression)
+        mapping the content-model cache memoizes; crash/timeout/corrupt
+        faults leave it intact (the fingerprint already reflects any
+        skipped documents), so they need no salt and keep full cache
+        sharing with fault-free runs.
+        """
+        if not (self.element_failures or self.element_failures_hard):
+            return ()
+        return (
+            (
+                "faults",
+                tuple(sorted(self.element_failures)),
+                tuple(sorted(self.element_failures_hard)),
+            ),
+        )
+
+    # -- (de)serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "worker_crashes": sorted(self.worker_crashes),
+            "shard_timeouts": sorted(self.shard_timeouts),
+            "corrupt_docs": sorted(self.corrupt_docs),
+            "element_failures": sorted(self.element_failures),
+            "element_failures_hard": sorted(self.element_failures_hard),
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> FaultPlan:
+        known = {
+            "worker_crashes",
+            "shard_timeouts",
+            "corrupt_docs",
+            "element_failures",
+            "element_failures_hard",
+            "attempts",
+        }
+        unknown = set(mapping) - known
+        if unknown:
+            raise UsageError(
+                f"unknown fault plan keys {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+
+        def seq(key: str) -> Iterable[object]:
+            value = mapping.get(key, ())
+            if isinstance(value, (str, bytes)) or not isinstance(
+                value, Iterable
+            ):
+                raise UsageError(f"fault plan {key} must be a list")
+            return value
+
+        attempts = mapping.get("attempts", 1)
+        if not isinstance(attempts, int) or isinstance(attempts, bool):
+            raise UsageError(
+                f"fault plan attempts must be an integer, got {attempts!r}"
+            )
+        return cls(
+            worker_crashes=frozenset(_frozen_ints(seq("worker_crashes"), "worker_crashes")),
+            shard_timeouts=frozenset(_frozen_ints(seq("shard_timeouts"), "shard_timeouts")),
+            corrupt_docs=frozenset(_frozen_ints(seq("corrupt_docs"), "corrupt_docs")),
+            element_failures=_frozen_names(seq("element_failures"), "element_failures"),
+            element_failures_hard=_frozen_names(
+                seq("element_failures_hard"), "element_failures_hard"
+            ),
+            attempts=attempts,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise UsageError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise UsageError("a fault plan must be a JSON object")
+        return cls.from_mapping(data)
+
+    @classmethod
+    def from_cli(cls, spec: str) -> FaultPlan:
+        """Parse ``--fault-plan``: inline JSON or ``[@]path`` to a file."""
+        spec = spec.strip()
+        if spec.startswith("{"):
+            return cls.from_json(spec)
+        path = spec[1:] if spec.startswith("@") else spec
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise UsageError(f"cannot read fault plan {path!r}: {exc}") from exc
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> FaultPlan | None:
+        """The plan in ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        source = os.environ if environ is None else environ
+        text = source.get("REPRO_FAULTS", "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+# -- the degradation report ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuarantinedDocument:
+    """One skipped document: where it came from and why it was dropped."""
+
+    path: str
+    cause: str
+    position: int | None = None
+    shard: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "cause": self.cause,
+            "position": self.position,
+            "shard": self.shard,
+        }
+
+
+@dataclass(frozen=True)
+class ShardRetry:
+    """One shard that needed more than its first attempt."""
+
+    shard: int
+    attempts: int
+    reason: str  # "worker-crash" | "timeout"
+    resharded: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "shard": self.shard,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "resharded": self.resharded,
+        }
+
+
+@dataclass(frozen=True)
+class ElementFallback:
+    """One element whose learner fell down the specificity ladder."""
+
+    element: str
+    from_method: str  # "idtd" | "crx"
+    to_method: str  # "crx" | "any"
+    cause: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "element": self.element,
+            "from": self.from_method,
+            "to": self.to_method,
+            "cause": self.cause,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """Everything a degraded run skipped, retried or weakened.
+
+    Attached to :class:`repro.api.InferenceResult` whenever the
+    resilient runtime ran (``on_error="skip"``, an active fault plan,
+    or a shard deadline).  ``degraded`` is False for a clean pass, so
+    callers can gate alerting on it; :meth:`to_dict` is the
+    machine-readable form the CLI and tests consume.
+    """
+
+    quarantined: list[QuarantinedDocument] = field(default_factory=list)
+    retried_shards: list[ShardRetry] = field(default_factory=list)
+    fallbacks: list[ElementFallback] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined or self.retried_shards or self.fallbacks)
+
+    def add_quarantine(
+        self,
+        document: QuarantinedDocument,
+        limit: int | None = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        """Record a skipped document, enforcing the quarantine cap."""
+        self.quarantined.append(document)
+        if recorder.enabled:
+            recorder.count("resilience.quarantined")
+        if limit is not None and len(self.quarantined) > limit:
+            raise QuarantineExceeded(
+                f"quarantined {len(self.quarantined)} documents, more than "
+                f"max_quarantine={limit}; the corpus is too broken to "
+                f"degrade gracefully (last: {document.path}: {document.cause})"
+            )
+
+    def add_retry(
+        self, retry: ShardRetry, recorder: Recorder = NULL_RECORDER
+    ) -> None:
+        self.retried_shards.append(retry)
+        if recorder.enabled:
+            recorder.count("resilience.retried_shards")
+            if retry.resharded:
+                recorder.count("resilience.resharded")
+
+    def add_fallback(
+        self, fallback: ElementFallback, recorder: Recorder = NULL_RECORDER
+    ) -> None:
+        self.fallbacks.append(fallback)
+        if recorder.enabled:
+            recorder.count("resilience.fallbacks")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "quarantined": [doc.to_dict() for doc in self.quarantined],
+            "retried_shards": [r.to_dict() for r in self.retried_shards],
+            "fallbacks": [f.to_dict() for f in self.fallbacks],
+        }
+
+
+# -- document loading with quarantine -----------------------------------------
+
+
+def load_document(
+    item: Document | str,
+    index: int,
+    *,
+    plan: FaultPlan | None = None,
+    on_error: str = "strict",
+    report: DegradationReport | None = None,
+    max_quarantine: int | None = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> Document | None:
+    """Load one corpus item under the error policy; ``None`` = skipped.
+
+    ``item`` is a parsed :class:`Document` or a file path (the two
+    shapes :func:`repro.api.infer` feeds its pipelines).  Injected
+    corruption (``plan.corrupt_docs``) and real parse failures behave
+    identically: raise in strict mode, quarantine in skip mode.
+    """
+    path = item if isinstance(item, str) else f"<document #{index}>"
+    try:
+        if plan is not None and plan.corrupts(index):
+            if recorder.enabled:
+                recorder.count("resilience.injected.corrupt")
+            raise CorpusError(
+                f"injected fault: corrupt document #{index} ({path})"
+            )
+        if isinstance(item, Document):
+            return item
+        if on_error == "skip":
+            loaded = try_parse_file(item, recorder)
+            if isinstance(loaded, ParseFailure):
+                raise CorpusError(loaded.cause)
+            return loaded
+        return parse_file(item, recorder)
+    except (CorpusError, OSError, UnicodeDecodeError) as exc:
+        if on_error != "skip" or report is None:
+            raise
+        report.add_quarantine(
+            QuarantinedDocument(
+                path=path,
+                cause=str(exc),
+                position=getattr(exc, "position", None),
+            ),
+            limit=max_quarantine,
+            recorder=recorder,
+        )
+        return None
+
+
+# -- the sharded resilient scheduler ------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard attempt needs, picklable for process pools."""
+
+    index: int
+    paths: tuple[str, ...]
+    doc_offset: int
+    on_error: str
+    backend: str
+    recorded: bool
+    inject_crash: bool
+    inject_timeout: bool
+    corrupt: frozenset[int]
+
+
+_ShardResult = tuple[StreamingEvidence, "Snapshot | None", list[QuarantinedDocument]]
+
+
+def _run_shard(task: _ShardTask) -> _ShardResult:
+    """Worker body: extract one shard under the fault plan and policy.
+
+    Module-level (not a closure) so it pickles into process pools.
+    Injected crashes take the real exit (``os._exit``) in process
+    workers so the pool genuinely breaks; other backends raise
+    :class:`InjectedWorkerCrash` so the driver exercises the same
+    retry path.
+    """
+    if task.inject_crash:
+        if task.backend == "process":
+            os._exit(CRASH_EXIT_STATUS)
+        raise InjectedWorkerCrash(
+            f"injected fault: worker crash in shard {task.index}"
+        )
+    if task.inject_timeout:
+        raise InjectedShardTimeout(
+            f"injected fault: deadline breach in shard {task.index}"
+        )
+    recorder: Recorder = StatsRecorder() if task.recorded else NULL_RECORDER
+    quarantined: list[QuarantinedDocument] = []
+    evidence = StreamingEvidence()
+    with recorder.span("shard", index=task.index, files=len(task.paths)):
+        for offset, path in enumerate(task.paths):
+            doc_index = task.doc_offset + offset
+            try:
+                if doc_index in task.corrupt:
+                    if recorder.enabled:
+                        recorder.count("resilience.injected.corrupt")
+                    raise CorpusError(
+                        f"injected fault: corrupt document #{doc_index} "
+                        f"({path})"
+                    )
+                if task.on_error == "skip":
+                    loaded = try_parse_file(path, recorder)
+                    if isinstance(loaded, ParseFailure):
+                        raise CorpusError(loaded.cause)
+                    document = loaded
+                else:
+                    document = parse_file(path, recorder)
+            except (CorpusError, OSError, UnicodeDecodeError) as exc:
+                if task.on_error != "skip":
+                    raise
+                # Not counted here: the driver counts quarantines when
+                # it folds shard results into the report, and worker
+                # counters merge into the driver's (double-count risk).
+                quarantined.append(
+                    QuarantinedDocument(
+                        path=path,
+                        cause=str(exc),
+                        position=getattr(exc, "position", None),
+                        shard=task.index,
+                    )
+                )
+                continue
+            with recorder.span("extract", file=path):
+                evidence.add_document(document, recorder)
+    snapshot = recorder.snapshot() if isinstance(recorder, StatsRecorder) else None
+    return evidence, snapshot, quarantined
+
+
+class _ShardDispatcher:
+    """Drives one resilient sharded run: submit, wait, retry, reshard.
+
+    Results are consumed strictly in shard order so the evidence merge
+    is identical to the fault-free path; retries and reshards only
+    change *when* a shard's evidence materializes, never its value.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Sequence[str]],
+        offsets: Sequence[int],
+        backend: str,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        on_error: str,
+        deadline: float | None,
+        recorder: Recorder,
+        report: DegradationReport,
+    ) -> None:
+        self.shards = [tuple(shard) for shard in shards]
+        self.offsets = list(offsets)
+        self.backend = backend
+        self.plan = plan
+        self.policy = policy
+        self.on_error = on_error
+        self.deadline = deadline
+        self.recorder = recorder
+        self.report = report
+        self.attempts: dict[int, int] = dict.fromkeys(range(len(shards)), 0)
+        self.first_failure: dict[int, str] = {}
+        self.resharded: set[int] = set()
+        self.futures: dict[int, Future[_ShardResult]] = {}
+
+    # -- task construction ----------------------------------------------------
+
+    def _task(self, index: int) -> _ShardTask:
+        if index not in self.attempts:
+            raise InternalError(
+                f"shard {index} missing from dispatch bookkeeping "
+                f"(known shards: 0..{len(self.shards) - 1})"
+            )
+        attempt = self.attempts[index]
+        return _ShardTask(
+            index=index,
+            paths=self.shards[index],
+            doc_offset=self.offsets[index],
+            on_error=self.on_error,
+            backend=self.backend,
+            recorded=self.recorder.enabled,
+            inject_crash=self.plan.crashes(index, attempt),
+            inject_timeout=self.plan.times_out(index, attempt),
+            corrupt=self.plan.corrupt_docs,
+        )
+
+    # -- failure handling ------------------------------------------------------
+
+    def _record_failure(self, index: int, reason: str) -> None:
+        self.first_failure.setdefault(index, reason)
+        self.attempts[index] += 1
+        if self.recorder.enabled:
+            self.recorder.count(f"resilience.failures.{reason}")
+
+    def _exhausted(self, index: int) -> bool:
+        return self.attempts[index] >= self.policy.max_attempts
+
+    def _backoff(self, index: int) -> None:
+        delay = self.policy.delay(index, self.attempts[index])
+        if delay > 0:
+            sleep(delay)
+
+    def _reshard_serial(self, index: int) -> _ShardResult:
+        """Last resort: run the shard per-document in the driver.
+
+        Worker-level faults (crash/timeout injections) model the worker
+        process, so they do not apply here; document-level faults and
+        parse failures behave exactly as in a worker.  In strict mode a
+        repeatedly timing-out shard raises :class:`ShardTimeout`
+        instead — honouring the caller's deadline beats completing
+        arbitrarily late.
+        """
+        if self.on_error != "skip" and self.first_failure.get(index) == "timeout":
+            raise ShardTimeout(
+                f"shard {index} exceeded its deadline after "
+                f"{self.attempts[index]} attempts "
+                f"(deadline={self.deadline}); rerun with on_error='skip' "
+                "to degrade instead"
+            )
+        self.resharded.add(index)
+        if self.recorder.enabled:
+            self.recorder.count("resilience.resharded_serial")
+        evidence = StreamingEvidence()
+        quarantined: list[QuarantinedDocument] = []
+        for offset, path in enumerate(self.shards[index]):
+            doc_index = self.offsets[index] + offset
+            try:
+                if self.plan.corrupts(doc_index):
+                    if self.recorder.enabled:
+                        self.recorder.count("resilience.injected.corrupt")
+                    raise CorpusError(
+                        f"injected fault: corrupt document #{doc_index} "
+                        f"({path})"
+                    )
+                if self.on_error == "skip":
+                    loaded = try_parse_file(path, self.recorder)
+                    if isinstance(loaded, ParseFailure):
+                        raise CorpusError(loaded.cause)
+                    document = loaded
+                else:
+                    document = parse_file(path, self.recorder)
+            except (CorpusError, OSError, UnicodeDecodeError) as exc:
+                if self.on_error != "skip":
+                    raise
+                quarantined.append(
+                    QuarantinedDocument(
+                        path=path,
+                        cause=str(exc),
+                        position=getattr(exc, "position", None),
+                        shard=index,
+                    )
+                )
+                continue
+            with self.recorder.span("extract", file=path):
+                evidence.add_document(document, self.recorder)
+        return evidence, None, quarantined
+
+    # -- dispatch strategies ---------------------------------------------------
+
+    def run_serial(self) -> list[_ShardResult]:
+        """In-driver execution with the same retry/reshard ladder."""
+        results: list[_ShardResult] = []
+        for index in range(len(self.shards)):
+            while True:
+                try:
+                    results.append(_run_shard(self._task(index)))
+                    break
+                except (InjectedWorkerCrash, InjectedShardTimeout) as exc:
+                    reason = (
+                        "worker-crash"
+                        if isinstance(exc, InjectedWorkerCrash)
+                        else "timeout"
+                    )
+                    self._record_failure(index, reason)
+                if self._exhausted(index):
+                    results.append(self._reshard_serial(index))
+                    break
+                self._backoff(index)
+            self._finish_retry(index)
+        return results
+
+    def run_pooled(self, pool_kind: str) -> list[_ShardResult]:
+        """Submit every shard to the warm pool and gather in order."""
+        from .parallel import warm_pool
+
+        pool = warm_pool(pool_kind)
+        for index in range(len(self.shards)):
+            self.futures[index] = pool.executor().submit(
+                _run_shard, self._task(index)
+            )
+        results: list[_ShardResult] = []
+        for index in range(len(self.shards)):
+            results.append(self._gather(index, pool))
+            self._finish_retry(index)
+        return results
+
+    def _gather(self, index: int, pool: WorkerPool) -> _ShardResult:
+        while True:
+            if index not in self.futures:
+                raise InternalError(
+                    f"shard {index} missing from dispatch bookkeeping: no "
+                    "future was submitted for it"
+                )
+            future = self.futures[index]
+            try:
+                return future.result(timeout=self.deadline)
+            except (InjectedWorkerCrash, InjectedShardTimeout) as exc:
+                reason = (
+                    "worker-crash"
+                    if isinstance(exc, InjectedWorkerCrash)
+                    else "timeout"
+                )
+                self._record_failure(index, reason)
+            except ReproError:
+                raise  # data/engine errors are not transient: propagate
+            except BrokenExecutor:
+                # The pool died under this shard (or a neighbour).  A
+                # crash injected into *another* shard makes this one a
+                # collateral victim: resubmit it without charging it an
+                # attempt, so its own fault schedule is undisturbed.
+                if (
+                    not self._task_was_crash_injected(index)
+                    and self._any_crash_injected()
+                ):
+                    if self.recorder.enabled:
+                        self.recorder.count("resilience.collateral_resubmits")
+                    self.futures[index] = pool.executor().submit(
+                        _run_shard, self._task(index)
+                    )
+                    continue
+                self._record_failure(index, "worker-crash")
+            except FuturesTimeout:
+                # The hung task cannot be cancelled (and shutting the
+                # pool down would block on it): deadline enforcement is
+                # best-effort — the retry queues behind the hung worker
+                # and the reshard-to-serial floor guarantees progress.
+                self._record_failure(index, "timeout")
+            if self._exhausted(index):
+                return self._reshard_serial(index)
+            self._backoff(index)
+            self.futures[index] = pool.executor().submit(
+                _run_shard, self._task(index)
+            )
+
+    def _task_was_crash_injected(self, index: int) -> bool:
+        return self.plan.crashes(index, self.attempts[index])
+
+    def _any_crash_injected(self) -> bool:
+        # Attempt-independent on purpose: by the time a collateral
+        # victim's future raises, the injected shard may already have
+        # burned through its faulty attempts.
+        return bool(self.plan.worker_crashes)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _finish_retry(self, index: int) -> None:
+        """Fold a resolved shard's retry history into the report."""
+        attempts = self.attempts[index]
+        if attempts == 0:
+            return
+        self.report.add_retry(
+            ShardRetry(
+                shard=index,
+                attempts=attempts + 1,
+                reason=self.first_failure.get(index, "worker-crash"),
+                resharded=index in self.resharded,
+            ),
+            self.recorder,
+        )
+
+
+def resilient_evidence(
+    paths: Sequence[str],
+    *,
+    jobs: int | None = None,
+    backend: str = "auto",
+    recorder: Recorder = NULL_RECORDER,
+    plan: FaultPlan | None = None,
+    policy: RetryPolicy | None = None,
+    on_error: str = "strict",
+    max_quarantine: int | None = None,
+    deadline: float | None = None,
+    report: DegradationReport | None = None,
+) -> StreamingEvidence:
+    """Sharded evidence extraction that survives crashes and bad docs.
+
+    The fault-tolerant sibling of
+    :func:`repro.runtime.parallel.parallel_evidence`: same backend cost
+    model, same contiguous sharding, same shard-order merge — so on a
+    clean run the result is byte-identical — plus per-shard
+    deadlines/retries, worker-crash recovery with reshard-to-serial as
+    the last resort, document quarantine under ``on_error="skip"``,
+    and :class:`FaultPlan` injection.  Degradation lands in ``report``.
+    """
+    from .parallel import BACKENDS, choose_backend, shard_paths
+
+    paths = list(paths)
+    if backend not in BACKENDS:
+        raise UsageError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"jobs must be a positive integer, got {jobs}")
+    if on_error not in ("strict", "skip"):
+        raise UsageError(
+            f"unknown on_error mode {on_error!r}: expected 'strict' or 'skip'"
+        )
+    plan = plan if plan is not None else FaultPlan()
+    policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+    report = report if report is not None else DegradationReport()
+    cpus = os.cpu_count() or 1
+    if backend == "auto":
+        chosen, shard_count = choose_backend(len(paths), jobs, cpus)
+    elif backend == "serial":
+        chosen, shard_count = "serial", 1
+    else:
+        chosen = backend
+        shard_count = jobs if jobs is not None else cpus
+        if shard_count <= 1 or len(paths) <= 1:
+            chosen, shard_count = "serial", 1
+    if recorder.enabled:
+        recorder.count(f"parallel.backend.{chosen}")
+    shards = shard_paths(paths, shard_count)
+    if not shards:
+        return StreamingEvidence()
+    offsets: list[int] = []
+    position = 0
+    for shard in shards:
+        offsets.append(position)
+        position += len(shard)
+    dispatcher = _ShardDispatcher(
+        shards=shards,
+        offsets=offsets,
+        backend=chosen,
+        plan=plan,
+        policy=policy,
+        on_error=on_error,
+        deadline=deadline,
+        recorder=recorder,
+        report=report,
+    )
+    if chosen == "serial":
+        results = dispatcher.run_serial()
+    else:
+        results = dispatcher.run_pooled(chosen)
+    merged = StreamingEvidence()
+    for index, (evidence, snapshot, quarantined) in enumerate(results):
+        if contracts_enabled():
+            check_merge_commutative(merged, evidence)
+        merged.merge(evidence)
+        if isinstance(recorder, StatsRecorder) and snapshot is not None:
+            recorder.merge_snapshot(snapshot, shard=index)
+            recorder.count("shards")
+        for document in quarantined:
+            # Quarantines are counted and the cap enforced here — once,
+            # corpus-wide, in deterministic shard order — never in the
+            # workers (their counters merge into this recorder).
+            report.add_quarantine(
+                document, limit=max_quarantine, recorder=recorder
+            )
+    return merged

@@ -18,11 +18,20 @@ is the job of :mod:`repro.learning.noise`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
 
 from ..errors import CorpusError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from .tree import Document, Element
+
+#: Maximum element nesting the parser accepts.  The recursive-descent
+#: element/content pair costs about two Python frames per level, so an
+#: adversarial "depth bomb" (<a><a><a>…) would otherwise hit the
+#: interpreter's recursion limit as an unhelpful ``RecursionError``;
+#: capping well below it turns the bomb into an ordinary, precisely
+#: located :class:`XmlSyntaxError`.  No sane schema nests this deep.
+MAX_ELEMENT_DEPTH = 256
 
 _PREDEFINED = {
     "amp": "&",
@@ -194,7 +203,11 @@ def _parse_doctype(scanner: _Scanner) -> tuple[str, str | None]:
             scanner.read_name()  # SYSTEM / PUBLIC keywords
 
 
-def _parse_element(scanner: _Scanner) -> Element:
+def _parse_element(scanner: _Scanner, depth: int = 0) -> Element:
+    if depth >= MAX_ELEMENT_DEPTH:
+        raise scanner.error(
+            f"element nesting deeper than {MAX_ELEMENT_DEPTH} levels"
+        )
     scanner.expect("<")
     name = scanner.read_name()
     element = Element(name=name, attributes=_parse_attributes(scanner))
@@ -203,11 +216,11 @@ def _parse_element(scanner: _Scanner) -> Element:
         scanner.pos += 2
         return element
     scanner.expect(">")
-    _parse_content(scanner, element)
+    _parse_content(scanner, element, depth)
     return element
 
 
-def _parse_content(scanner: _Scanner, element: Element) -> None:
+def _parse_content(scanner: _Scanner, element: Element, depth: int = 0) -> None:
     while True:
         if scanner.eof():
             raise scanner.error(f"unterminated element <{element.name}>")
@@ -233,7 +246,7 @@ def _parse_content(scanner: _Scanner, element: Element) -> None:
             scanner.pos += 2
             scanner.read_until("?>", "unterminated processing instruction")
         elif scanner.startswith("<"):
-            element.append(_parse_element(scanner))
+            element.append(_parse_element(scanner, depth + 1))
         else:
             start = scanner.pos
             next_tag = scanner.text.find("<", scanner.pos)
@@ -278,6 +291,47 @@ def parse_file(path: str, recorder: Recorder = NULL_RECORDER) -> Document:
         recorder.count("documents")
         recorder.count("parse.chars", len(text))
     return document
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """Why a document failed to parse in recoverable mode.
+
+    ``cause`` is the precise human-readable reason (syntax error with
+    line/column, decode error, missing file); ``position`` is the byte
+    offset of a syntax error when one is known, else ``None``.
+    """
+
+    path: str
+    cause: str
+    position: int | None = None
+
+
+def try_parse_file(
+    path: str, recorder: Recorder = NULL_RECORDER
+) -> Document | ParseFailure:
+    """Recoverable-mode parsing: a Document, or *why* there isn't one.
+
+    The quarantine primitive of the resilient runtime
+    (:mod:`repro.runtime.resilience`): everything that makes a
+    real-world document unreadable — malformed XML, a non-UTF-8 or
+    truncated byte stream, a vanished file — comes back as a
+    :class:`ParseFailure` carrying the exact cause, instead of an
+    exception unwinding the whole corpus pass.  Anything else (e.g. a
+    :class:`MemoryError`, an engine bug) still raises: recoverable
+    mode degrades on *bad input*, never on bad engine state.
+    """
+    try:
+        return parse_file(path, recorder)
+    except XmlSyntaxError as exc:
+        failure = ParseFailure(
+            path=str(path), cause=str(exc), position=exc.position
+        )
+    except (CorpusError, OSError, UnicodeDecodeError) as exc:
+        failure = ParseFailure(path=str(path), cause=str(exc))
+    if recorder.enabled:
+        recorder.count("parse.failures")
+    return failure
 
 
 def parse_files(

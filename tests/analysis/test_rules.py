@@ -162,6 +162,58 @@ class TestRuleDetails:
         findings = analyze_source("src/repro/core/m.py", source)
         assert not any(f.rule == "R003" for f in findings)
 
+    def test_r003_runtime_lookup_swallow_fires(self):
+        source = (
+            "try:\n"
+            "    shard = futures[index]\n"
+            "except KeyError:\n"
+            "    pass\n"
+        )
+        findings = analyze_source("src/repro/runtime/m.py", source)
+        (finding,) = [f for f in findings if f.rule == "R003"]
+        assert "bookkeeping" in finding.message
+
+    def test_r003_lookup_swallow_fires_for_index_and_lookup_error(self):
+        source = (
+            "try:\n"
+            "    shard = shards[0]\n"
+            "except (IndexError, LookupError):\n"
+            "    pass\n"
+        )
+        findings = analyze_source("src/repro/runtime/m.py", source)
+        assert any(f.rule == "R003" for f in findings)
+
+    def test_r003_lookup_swallow_allowed_outside_runtime(self):
+        source = (
+            "try:\n"
+            "    shard = futures[index]\n"
+            "except KeyError:\n"
+            "    pass\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert not any(f.rule == "R003" for f in findings)
+
+    def test_r003_runtime_lookup_reraise_is_clean(self):
+        source = (
+            "from repro.errors import InternalError\n"
+            "try:\n"
+            "    shard = futures[index]\n"
+            "except KeyError:\n"
+            "    raise InternalError(f'no future for shard {index}')\n"
+        )
+        findings = analyze_source("src/repro/runtime/m.py", source)
+        assert not any(f.rule == "R003" for f in findings)
+
+    def test_r003_runtime_lookup_counted_is_clean(self):
+        source = (
+            "try:\n"
+            "    shard = futures[index]\n"
+            "except KeyError:\n"
+            "    recorder.count('resilience.missing_shard')\n"
+        )
+        findings = analyze_source("src/repro/runtime/m.py", source)
+        assert not any(f.rule == "R003" for f in findings)
+
     def test_r005_wall_clock_only_flagged_in_core(self):
         source = "from time import perf_counter\n"
         core = analyze_source("src/repro/core/m.py", source)

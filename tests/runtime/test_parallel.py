@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.inference import DTDInferencer
 from repro.datagen.xmlgen import XmlGenerator, serialize
-from repro.errors import UsageError
+from repro.errors import InternalError, UsageError
 from repro.obs.recorder import StatsRecorder
 from repro.runtime.parallel import (
     MIN_DOCS_PER_SHARD,
@@ -245,7 +245,9 @@ class TestChooseBackend:
 
 class TestWarmPool:
     def test_warm_pool_requires_known_kind(self):
-        with pytest.raises(UsageError):
+        # Reaching warm_pool with a non-pooled kind means backend
+        # selection failed upstream: an engine bug, not a usage error.
+        with pytest.raises(InternalError, match="serial"):
             warm_pool("serial")
 
     def test_pool_reused_across_parallel_evidence_calls(self, tmp_path):

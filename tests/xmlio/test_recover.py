@@ -1,0 +1,140 @@
+"""Recoverable-mode parsing against hostile and broken inputs.
+
+:func:`try_parse_file` is the quarantine primitive of the resilient
+runtime: every way a real-world document can be unreadable — truncated
+bytes, bad encodings, mismatched tags, pathological nesting, entity
+tricks, a vanished file — must come back as a :class:`ParseFailure`
+with a precise cause (or parse fine), never hang, recurse without
+bound, or blow up memory.
+"""
+
+import sys
+
+import pytest
+
+from repro.obs.recorder import StatsRecorder
+from repro.xmlio.parser import (
+    MAX_ELEMENT_DEPTH,
+    ParseFailure,
+    XmlSyntaxError,
+    parse_document,
+    try_parse_file,
+)
+from repro.xmlio.tree import Document
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestTryParseFile:
+    def test_valid_file_returns_document(self, tmp_path):
+        path = _write(tmp_path, "ok.xml", "<r><a/></r>")
+        result = try_parse_file(path)
+        assert isinstance(result, Document)
+        assert result.root.name == "r"
+
+    def test_truncated_file_fails_with_position(self, tmp_path):
+        path = _write(tmp_path, "trunc.xml", "<r><a>cut off mid-eleme")
+        failure = try_parse_file(path)
+        assert isinstance(failure, ParseFailure)
+        assert failure.path == path
+        assert "unterminated" in failure.cause
+        assert failure.position is not None
+
+    def test_mismatched_tags_fail_with_both_names(self, tmp_path):
+        path = _write(tmp_path, "mismatch.xml", "<r><a></b></r>")
+        failure = try_parse_file(path)
+        assert isinstance(failure, ParseFailure)
+        assert "</b>" in failure.cause and "<a>" in failure.cause
+
+    def test_invalid_utf8_bytes_fail_cleanly(self, tmp_path):
+        path = tmp_path / "bad-encoding.xml"
+        path.write_bytes(b"<r>\xff\xfe\x9c</r>")
+        failure = try_parse_file(str(path))
+        assert isinstance(failure, ParseFailure)
+        assert failure.cause  # the decode error, verbatim
+
+    def test_empty_file_fails(self, tmp_path):
+        path = _write(tmp_path, "empty.xml", "")
+        assert isinstance(try_parse_file(path), ParseFailure)
+
+    def test_missing_file_fails_with_oserror_cause(self, tmp_path):
+        failure = try_parse_file(str(tmp_path / "nope.xml"))
+        assert isinstance(failure, ParseFailure)
+        assert "nope.xml" in failure.cause
+
+    def test_directory_path_fails(self, tmp_path):
+        assert isinstance(try_parse_file(str(tmp_path)), ParseFailure)
+
+    def test_failures_are_counted(self, tmp_path):
+        recorder = StatsRecorder()
+        try_parse_file(_write(tmp_path, "bad.xml", "<r"), recorder)
+        try_parse_file(_write(tmp_path, "ok.xml", "<r/>"), recorder)
+        counters = recorder.snapshot()["counters"]
+        assert counters["parse.failures"] == 1
+
+    def test_engine_errors_still_raise(self, tmp_path, monkeypatch):
+        # Recoverable mode degrades on bad *input*; a bug in the engine
+        # (anything outside the documented failure types) must surface.
+        import repro.xmlio.parser as parser_module
+
+        def boom(path, recorder):
+            raise ZeroDivisionError("engine bug")
+
+        monkeypatch.setattr(parser_module, "parse_file", boom)
+        with pytest.raises(ZeroDivisionError):
+            try_parse_file(_write(tmp_path, "any.xml", "<r/>"))
+
+
+class TestDepthBomb:
+    def test_nesting_past_the_cap_is_a_syntax_error(self, tmp_path):
+        depth = MAX_ELEMENT_DEPTH + 10
+        path = _write(tmp_path, "deep.xml", "<a>" * depth + "</a>" * depth)
+        failure = try_parse_file(path)
+        assert isinstance(failure, ParseFailure)
+        assert "nesting deeper" in failure.cause
+        assert failure.position is not None
+
+    def test_nesting_under_the_cap_parses(self):
+        depth = MAX_ELEMENT_DEPTH - 6
+        document = parse_document("<a>" * depth + "</a>" * depth)
+        assert document.root.name == "a"
+
+    def test_cap_fires_well_inside_the_recursion_limit(self):
+        # The recursive-descent parser burns a couple of frames per
+        # nesting level; the cap must trip long before CPython would.
+        assert MAX_ELEMENT_DEPTH * 4 < sys.getrecursionlimit() * 2
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a>" * 100_000 + "</a>" * 100_000)
+
+
+class TestEntityTricks:
+    def test_billion_laughs_does_not_expand(self, tmp_path):
+        text = (
+            "<!DOCTYPE r [\n"
+            '<!ENTITY lol "lol">\n'
+            '<!ENTITY lol2 "' + "&lol;" * 10 + '">\n'
+            '<!ENTITY lol3 "' + "&lol2;" * 10 + '">\n'
+            "]>\n"
+            "<r>&lol3;</r>"
+        )
+        path = _write(tmp_path, "laughs.xml", text)
+        document = try_parse_file(path)
+        # Undeclared general entities stay verbatim (size-capped by
+        # construction): the reference is data, not a macro expansion.
+        assert isinstance(document, Document)
+
+    def test_overflowing_character_reference_is_quarantinable(self, tmp_path):
+        path = _write(tmp_path, "charref.xml", "<r>&#99999999999;</r>")
+        failure = try_parse_file(path)
+        assert isinstance(failure, ParseFailure)
+        assert "character reference" in failure.cause
+
+    def test_unterminated_entity_fails(self, tmp_path):
+        path = _write(tmp_path, "entity.xml", "<r>&amp no semicolon</r>")
+        failure = try_parse_file(path)
+        assert isinstance(failure, ParseFailure)
+        assert "entity" in failure.cause
