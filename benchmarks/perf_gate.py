@@ -67,6 +67,15 @@ GATES = [
     Gate("enabled_overhead.ratio", "max", 1.30),
     # The content-model cache must at least halve warm finalize time.
     Gate("cache.speedup_uncached_over_cached", "min", 2.0),
+    # Parse-throughput bands (bench_parse.py): the bulk tokenizer must
+    # keep clearing the old character-at-a-time parser (~2.6 MB/s on
+    # the quick profile) with real margin at every corpus shape.
+    # Absolute floors sit at roughly half the measured 1-CPU-runner
+    # numbers (10.2 / 7.8 / 5.0 MB/s); the relative band tracks the
+    # committed baseline above that.
+    Gate("parse_throughput.small.mb_per_s", "min", 5.0),
+    Gate("parse_throughput.medium.mb_per_s", "min", 4.0),
+    Gate("parse_throughput.large.mb_per_s", "min", 2.5),
 ]
 
 

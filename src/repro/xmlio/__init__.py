@@ -38,7 +38,14 @@ from .extract import (
     extract_evidence,
     extract_streaming_evidence,
 )
-from .parser import XmlSyntaxError, parse_document, parse_file
+from .parser import (
+    ParseFailure,
+    XmlSyntaxError,
+    parse_bytes,
+    parse_document,
+    parse_file,
+    try_parse_file,
+)
 from .tree import Document, Element
 from .validate import Violation, is_valid, validate
 from .xsd import dtd_to_xsd
@@ -59,6 +66,7 @@ __all__ = [
     "ElementEvidence",
     "Empty",
     "Mixed",
+    "ParseFailure",
     "StreamingElementEvidence",
     "StreamingEvidence",
     "Violation",
@@ -69,9 +77,11 @@ __all__ = [
     "extract_evidence",
     "extract_streaming_evidence",
     "is_valid",
+    "parse_bytes",
     "parse_document",
     "parse_dtd",
     "parse_file",
     "sniff_type",
+    "try_parse_file",
     "validate",
 ]

@@ -8,21 +8,40 @@ real-world corpora:
   verbatim so :mod:`repro.xmlio.dtd` can parse declared content models;
 * elements with attributes (single or double quoted);
 * character data, CDATA sections;
-* the five predefined entities plus decimal/hex character references.
+* the five predefined entities plus decimal/hex character references;
+* XML 1.0 §2.11 end-of-line normalization (CRLF / lone CR → LF).
 
 It is intentionally strict about well-formedness (mismatched tags,
-unterminated constructs, stray ``<``) because schema inference from a
-broken tree would silently learn garbage; noisy-but-well-formed input
-is the job of :mod:`repro.learning.noise`.
+unterminated constructs, stray ``<``, non-``Char`` character
+references, non-XML whitespace between tokens) because schema
+inference from a broken tree would silently learn garbage;
+noisy-but-well-formed input is the job of :mod:`repro.learning.noise`.
+
+This module owns the *grammar*: the recursive-descent element/content
+structure, DOCTYPE handling, and the file-level API with its failure
+contract.  The *tokenizer* — bulk ``str.find`` runs, the precompiled
+regex dispatch table, entity decoding, newline normalization — lives
+in :mod:`repro.xmlio.scan`.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
 
 from ..errors import CorpusError
 from ..obs.recorder import NULL_RECORDER, Recorder
+from .scan import (
+    Scanner as _Scanner,
+    XmlSyntaxError,
+    decode_entities as _decode_entities,
+    normalize_newlines,
+    scan_end_tag,
+    scan_internal_subset,
+    scan_start_tag,
+)
 from .tree import Document, Element
 
 #: Maximum element nesting the parser accepts.  The recursive-descent
@@ -33,151 +52,13 @@ from .tree import Document, Element
 #: located :class:`XmlSyntaxError`.  No sane schema nests this deep.
 MAX_ELEMENT_DEPTH = 256
 
-_PREDEFINED = {
-    "amp": "&",
-    "lt": "<",
-    "gt": ">",
-    "apos": "'",
-    "quot": '"',
-}
-
-
-class XmlSyntaxError(CorpusError):
-    """Raised on malformed XML, with line/column information."""
-
-    def __init__(self, message: str, text: str, position: int) -> None:
-        line = text.count("\n", 0, position) + 1
-        column = position - (text.rfind("\n", 0, position) + 1) + 1
-        super().__init__(f"{message} (line {line}, column {column})")
-        self.position = position
-        self.line = line
-        self.column = column
-
-
-def _is_name_start(char: str) -> bool:
-    return char.isalpha() or char in "_:"
-
-
-def _is_name_char(char: str) -> bool:
-    return char.isalnum() or char in "_:.-"
-
-
-class _Scanner:
-    def __init__(self, text: str) -> None:
-        self.text = text
-        self.pos = 0
-        self.length = len(text)
-
-    def error(self, message: str) -> XmlSyntaxError:
-        return XmlSyntaxError(message, self.text, self.pos)
-
-    def eof(self) -> bool:
-        return self.pos >= self.length
-
-    def peek(self, count: int = 1) -> str:
-        return self.text[self.pos : self.pos + count]
-
-    def startswith(self, token: str) -> bool:
-        return self.text.startswith(token, self.pos)
-
-    def expect(self, token: str) -> None:
-        if not self.startswith(token):
-            raise self.error(f"expected {token!r}")
-        self.pos += len(token)
-
-    def skip_whitespace(self) -> None:
-        while self.pos < self.length and self.text[self.pos].isspace():
-            self.pos += 1
-
-    def read_name(self) -> str:
-        start = self.pos
-        if self.eof() or not _is_name_start(self.text[self.pos]):
-            raise self.error("expected a name")
-        self.pos += 1
-        while self.pos < self.length and _is_name_char(self.text[self.pos]):
-            self.pos += 1
-        return self.text[start : self.pos]
-
-    def read_until(self, token: str, error: str) -> str:
-        end = self.text.find(token, self.pos)
-        if end < 0:
-            raise self.error(error)
-        value = self.text[self.pos : end]
-        self.pos = end + len(token)
-        return value
-
-
-def _decode_entities(raw: str, scanner: _Scanner) -> str:
-    if "&" not in raw:
-        return raw
-    out: list[str] = []
-    index = 0
-    while index < len(raw):
-        char = raw[index]
-        if char != "&":
-            out.append(char)
-            index += 1
-            continue
-        end = raw.find(";", index)
-        if end < 0:
-            raise scanner.error("unterminated entity reference")
-        entity = raw[index + 1 : end]
-        if entity.startswith(("#x", "#X")):
-            out.append(_charref(entity[2:], 16, scanner))
-        elif entity.startswith("#"):
-            out.append(_charref(entity[1:], 10, scanner))
-        elif entity in _PREDEFINED:
-            out.append(_PREDEFINED[entity])
-        else:
-            # Unknown general entity: keep it verbatim.  Real corpora
-            # (the paper's XHTML crawl!) are full of undeclared
-            # entities; losing the document over one would be worse
-            # than keeping the reference as text.
-            out.append(f"&{entity};")
-        index = end + 1
-    return "".join(out)
-
-
-def _charref(digits: str, base: int, scanner: _Scanner) -> str:
-    try:
-        code_point = int(digits, base)
-        return chr(code_point)
-    except (ValueError, OverflowError) as exc:
-        raise scanner.error(f"invalid character reference &#{digits};") from exc
-
-
-def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
-    attributes: dict[str, str] = {}
-    while True:
-        scanner.skip_whitespace()
-        if scanner.eof() or scanner.peek() in (">", "/", "?"):
-            return attributes
-        name = scanner.read_name()
-        scanner.skip_whitespace()
-        scanner.expect("=")
-        scanner.skip_whitespace()
-        quote = scanner.peek()
-        if quote not in ("'", '"'):
-            raise scanner.error("attribute value must be quoted")
-        scanner.pos += 1
-        value = scanner.read_until(quote, "unterminated attribute value")
-        if name in attributes:
-            raise scanner.error(f"duplicate attribute {name!r}")
-        attributes[name] = _decode_entities(value, scanner)
-
-
-def _skip_misc(scanner: _Scanner) -> None:
-    """Skip whitespace, comments and processing instructions."""
-    while True:
-        scanner.skip_whitespace()
-        if scanner.startswith("<!--"):
-            scanner.pos += 4
-            scanner.read_until("-->", "unterminated comment")
-        elif scanner.startswith("<?"):
-            scanner.pos += 2
-            scanner.read_until("?>", "unterminated processing instruction")
-        else:
-            return
+#: Files at least this large are decoded straight from an ``mmap`` of
+#: the file instead of a ``read()`` — one UTF-8 decode from the mapped
+#: pages into the parse string, with no intermediate bytes copy.
+#: Small files stay on the plain-read path: mapping costs two extra
+#: syscalls, which only pay for themselves once the copy it avoids is
+#: substantially bigger than a page.
+MMAP_MIN_BYTES = 1 << 20
 
 
 def _parse_doctype(scanner: _Scanner) -> tuple[str, str | None]:
@@ -195,7 +76,7 @@ def _parse_doctype(scanner: _Scanner) -> tuple[str, str | None]:
             return name, subset
         if char == "[":
             scanner.pos += 1
-            subset = scanner.read_until("]", "unterminated internal subset")
+            subset = scan_internal_subset(scanner)
         elif char in ("'", '"'):
             scanner.pos += 1
             scanner.read_until(char, "unterminated system/public literal")
@@ -203,65 +84,97 @@ def _parse_doctype(scanner: _Scanner) -> tuple[str, str | None]:
             scanner.read_name()  # SYSTEM / PUBLIC keywords
 
 
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments and processing instructions."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "unterminated comment")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "unterminated processing instruction")
+        else:
+            return
+
+
 def _parse_element(scanner: _Scanner, depth: int = 0) -> Element:
     if depth >= MAX_ELEMENT_DEPTH:
         raise scanner.error(
             f"element nesting deeper than {MAX_ELEMENT_DEPTH} levels"
         )
-    scanner.expect("<")
-    name = scanner.read_name()
-    element = Element(name=name, attributes=_parse_attributes(scanner))
-    scanner.skip_whitespace()
-    if scanner.startswith("/>"):
-        scanner.pos += 2
+    name, attributes, self_closed = scan_start_tag(scanner)
+    element = Element(name=name, attributes=attributes)
+    if self_closed:
         return element
-    scanner.expect(">")
     _parse_content(scanner, element, depth)
     return element
 
 
 def _parse_content(scanner: _Scanner, element: Element, depth: int = 0) -> None:
+    """Children, text runs and the end tag of an open ``element``.
+
+    One dispatch per content item: a text run is jumped in a single
+    ``find("<")``, everything else is routed on the character after
+    ``<``.  Only chunks containing ``&`` pay for entity decoding; all
+    other text lands in the tree as a zero-copy slice.  Child elements
+    are opened inline (rather than through :func:`_parse_element`) so
+    each nesting level costs one Python frame, not three.
+    """
+    text = scanner.text
+    length = scanner.length
+    chunks = element.text_chunks
+    children_append = element.children.append
+    child_depth = depth + 1
     while True:
-        if scanner.eof():
+        pos = scanner.pos
+        if pos >= length:
             raise scanner.error(f"unterminated element <{element.name}>")
-        if scanner.startswith("</"):
-            scanner.pos += 2
-            closing = scanner.read_name()
-            if closing != element.name:
-                raise scanner.error(
-                    f"mismatched end tag </{closing}> for <{element.name}>"
-                )
-            scanner.skip_whitespace()
-            scanner.expect(">")
-            return
-        if scanner.startswith("<!--"):
-            scanner.pos += 4
-            scanner.read_until("-->", "unterminated comment")
-        elif scanner.startswith("<![CDATA["):
-            scanner.pos += 9
-            element.text_chunks.append(
-                scanner.read_until("]]>", "unterminated CDATA section")
-            )
-        elif scanner.startswith("<?"):
-            scanner.pos += 2
-            scanner.read_until("?>", "unterminated processing instruction")
-        elif scanner.startswith("<"):
-            element.append(_parse_element(scanner, depth + 1))
-        else:
-            start = scanner.pos
-            next_tag = scanner.text.find("<", scanner.pos)
+        if text[pos] != "<":
+            next_tag = text.find("<", pos)
             if next_tag < 0:
                 raise scanner.error(f"unterminated element <{element.name}>")
-            raw = scanner.text[start:next_tag]
+            raw = text[pos:next_tag]
             scanner.pos = next_tag
-            decoded = _decode_entities(raw, scanner)
-            if decoded:
-                element.text_chunks.append(decoded)
+            if "&" in raw:
+                raw = _decode_entities(raw, scanner)
+            if raw:
+                chunks.append(raw)
+            continue
+        marker = text[pos + 1] if pos + 1 < length else ""
+        if marker == "/":
+            scan_end_tag(scanner, element.name)
+            return
+        if marker == "!":
+            if text.startswith("<!--", pos):
+                scanner.pos = pos + 4
+                scanner.read_until("-->", "unterminated comment")
+            elif text.startswith("<![CDATA[", pos):
+                scanner.pos = pos + 9
+                chunks.append(
+                    scanner.read_until("]]>", "unterminated CDATA section")
+                )
+            else:
+                children_append(_parse_element(scanner, child_depth))
+            continue
+        if marker == "?":
+            scanner.pos = pos + 2
+            scanner.read_until("?>", "unterminated processing instruction")
+            continue
+        if child_depth >= MAX_ELEMENT_DEPTH:
+            raise scanner.error(
+                f"element nesting deeper than {MAX_ELEMENT_DEPTH} levels"
+            )
+        name, attributes, self_closed = scan_start_tag(scanner)
+        child = Element(name=name, attributes=attributes)
+        children_append(child)
+        if not self_closed:
+            _parse_content(scanner, child, child_depth)
 
 
 def parse_document(text: str) -> Document:
     """Parse one XML document from a string."""
-    scanner = _Scanner(text)
+    scanner = _Scanner(normalize_newlines(text))
     if scanner.startswith("﻿"):
         scanner.pos += 1
     _skip_misc(scanner)
@@ -281,15 +194,63 @@ def parse_document(text: str) -> Document:
     )
 
 
-def parse_file(path: str, recorder: Recorder = NULL_RECORDER) -> Document:
-    """Parse an XML document from a file path (UTF-8)."""
+def parse_bytes(data: bytes | bytearray | memoryview) -> Document:
+    """Parse one XML document from a UTF-8 byte buffer.
+
+    Accepts anything with the buffer protocol (``bytes``, a
+    ``memoryview``, an ``mmap``) and performs exactly one decode.
+    """
+    return parse_document(str(data, "utf-8"))
+
+
+def _read_file_text(path: str, use_mmap: bool | None) -> tuple[str, int, bool]:
+    """``(decoded text, byte size, mmap taken)`` for the file.
+
+    ``use_mmap=None`` (the default) maps files of at least
+    :data:`MMAP_MIN_BYTES`; ``True``/``False`` force the choice.  The
+    mapped branch decodes straight from the OS page cache — a single
+    UTF-8 decode, no intermediate ``bytes`` object.  Empty files and
+    filesystems that refuse to map fall back to a plain read.
+    """
+    with open(path, "rb") as handle:
+        if use_mmap or (
+            use_mmap is None
+            and os.fstat(handle.fileno()).st_size >= MMAP_MIN_BYTES
+        ):
+            try:
+                with mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                ) as mapped:
+                    return str(mapped, "utf-8"), len(mapped), True
+            except (ValueError, OSError):
+                handle.seek(0)  # zero-length or unmappable: plain read
+        data = handle.read()
+        return data.decode("utf-8"), len(data), False
+
+
+def parse_file(
+    path: str,
+    recorder: Recorder = NULL_RECORDER,
+    *,
+    use_mmap: bool | None = None,
+) -> Document:
+    """Parse an XML document from a file path (UTF-8).
+
+    Large files (>= :data:`MMAP_MIN_BYTES`) are memory-mapped and
+    decoded in a single pass; pass ``use_mmap=True``/``False`` to
+    force either path.  Under a live recorder the byte volume lands in
+    the ``parse.chars``/``parse.bytes`` counters, which together with
+    the ``parse`` span time give corpus-level parse throughput.
+    """
     with recorder.span("parse", file=str(path)):
-        with open(path, encoding="utf-8") as handle:
-            text = handle.read()
+        text, byte_size, mapped = _read_file_text(path, use_mmap)
         document = parse_document(text)
     if recorder.enabled:
         recorder.count("documents")
         recorder.count("parse.chars", len(text))
+        recorder.count("parse.bytes", byte_size)
+        if mapped:
+            recorder.count("parse.mmap")
     return document
 
 
@@ -345,3 +306,16 @@ def parse_files(
     """
     for path in paths:
         yield parse_file(path, recorder)
+
+
+__all__ = [
+    "MAX_ELEMENT_DEPTH",
+    "MMAP_MIN_BYTES",
+    "ParseFailure",
+    "XmlSyntaxError",
+    "parse_bytes",
+    "parse_document",
+    "parse_file",
+    "parse_files",
+    "try_parse_file",
+]

@@ -15,9 +15,11 @@ import pytest
 from repro.obs.recorder import StatsRecorder
 from repro.xmlio.parser import (
     MAX_ELEMENT_DEPTH,
+    MMAP_MIN_BYTES,
     ParseFailure,
     XmlSyntaxError,
     parse_document,
+    parse_file,
     try_parse_file,
 )
 from repro.xmlio.tree import Document
@@ -109,6 +111,59 @@ class TestDepthBomb:
         assert MAX_ELEMENT_DEPTH * 4 < sys.getrecursionlimit() * 2
         with pytest.raises(XmlSyntaxError):
             parse_document("<a>" * 100_000 + "</a>" * 100_000)
+
+
+class TestMmapPath:
+    """The large-file mmap input path must change performance, never
+    behavior: same trees, same failure modes, same counters."""
+
+    def test_forced_mmap_equals_plain_read(self, tmp_path):
+        body = "".join(f"<item n='{i}'>text {i}</item>" for i in range(200))
+        path = _write(tmp_path, "doc.xml", f"<r>{body}</r>")
+        mapped = parse_file(path, use_mmap=True)
+        plain = parse_file(path, use_mmap=False)
+        assert mapped.root.child_names() == plain.root.child_names()
+        assert [c.attributes for c in mapped.root.children] == [
+            c.attributes for c in plain.root.children
+        ]
+
+    def test_mmap_counter_recorded(self, tmp_path):
+        path = _write(tmp_path, "doc.xml", "<r><a/></r>")
+        recorder = StatsRecorder()
+        parse_file(path, recorder, use_mmap=True)
+        counters = recorder.snapshot()["counters"]
+        assert counters["parse.mmap"] == 1
+        assert counters["parse.bytes"] == len("<r><a/></r>")
+
+    def test_small_files_skip_mmap_by_default(self, tmp_path):
+        path = _write(tmp_path, "doc.xml", "<r/>")
+        recorder = StatsRecorder()
+        parse_file(path, recorder)
+        assert "parse.mmap" not in recorder.snapshot()["counters"]
+
+    def test_large_files_take_mmap_by_default(self, tmp_path):
+        filler = "x" * MMAP_MIN_BYTES
+        path = _write(tmp_path, "big.xml", f"<r>{filler}</r>")
+        recorder = StatsRecorder()
+        document = parse_file(path, recorder)
+        assert document.root.text() == filler
+        assert recorder.snapshot()["counters"]["parse.mmap"] == 1
+
+    def test_empty_file_with_forced_mmap_falls_back(self, tmp_path):
+        # mmap refuses zero-length maps; the fallback read must turn
+        # this into the ordinary empty-document syntax error.
+        path = _write(tmp_path, "empty.xml", "")
+        with pytest.raises(XmlSyntaxError):
+            parse_file(path, use_mmap=True)
+
+    def test_bad_utf8_on_mmap_path_is_quarantinable(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_bytes(b"<r>" + b"\xff\xfe" * 100 + b"</r>")
+        with pytest.raises(UnicodeDecodeError):
+            parse_file(str(path), use_mmap=True)
+        # and through the quarantine primitive, a ParseFailure
+        failure = try_parse_file(str(path))
+        assert isinstance(failure, ParseFailure)
 
 
 class TestEntityTricks:
