@@ -48,7 +48,10 @@ print(result.render())
 
 # --- 3. The inferred DTD validates the corpus it was learned from ----------
 
-for index, document in enumerate(documents):
-    violations = validate(document, dtd)
-    status = "valid" if not violations else f"{len(violations)} violations"
-    print(f"document {index}: {status}")
+report = validate(documents, dtd)
+for entry in report.documents:
+    status = (
+        "valid" if entry.valid else f"{entry.violation_count} violations"
+    )
+    print(f"{entry.source}: {status}")
+assert report.valid

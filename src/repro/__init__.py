@@ -19,12 +19,27 @@ Quickstart::
     print(infer("<r><x/><y/></r>").render())
 
 :func:`repro.api.infer` is the entry point for whole-corpus inference
-(batch, streaming, sharded); the older per-path entry points
-(``infer_dtd``, ``DTDInferencer.infer``, ``infer_parallel``, ...) are
-still importable but deprecated.
+(batch, streaming, sharded); :func:`repro.api.validate` and
+:func:`repro.api.diff` are its companions for the paper's two
+applications, and :class:`repro.api.InferenceSession` folds documents
+in incrementally.  The older per-path entry points (``infer_dtd``,
+``DTDInferencer.infer``, ``infer_parallel``, ...) are still importable
+but deprecated — they warn once per process and refuse to run under
+``REPRO_STRICT_API=1`` (see docs/API.md for the removal schedule).
 """
 
-from .api import InferenceConfig, InferenceResult, infer
+from .api import (
+    DiffConfig,
+    DiffResult,
+    InferenceConfig,
+    InferenceResult,
+    InferenceSession,
+    ValidationConfig,
+    ValidationResult,
+    diff,
+    infer,
+    validate,
+)
 from .automata import SOA, state_elimination
 from .core import (
     DTDInferencer,
@@ -62,17 +77,22 @@ from .xmlio import (
     parse_document,
     parse_dtd,
     parse_file,
-    validate,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DTDInferencer",
+    "DiffConfig",
+    "DiffResult",
     "Document",
     "Dtd",
     "InferenceConfig",
     "InferenceResult",
+    "InferenceSession",
+    "ValidationConfig",
+    "ValidationResult",
+    "diff",
     "infer",
     "IncrementalCRX",
     "IncrementalSOA",

@@ -18,6 +18,12 @@ from . import Finding, ParsedModule
 LEGACY_NAMES = frozenset({"infer_dtd", "infer_parallel"})
 LEGACY_ATTRIBUTES = frozenset({"infer_from_evidence", "infer_from_streaming"})
 
+#: The daemon speaks only the public façade (R001's second half): a
+#: serve module reaching into repro.core/runtime/xmlio directly would
+#: let the HTTP surface drift from the library's semantics.
+SERVE_PACKAGE_MARKER = "repro/serve/"
+SERVE_ALLOWED_PACKAGES = frozenset({"api", "errors", "obs", "serve"})
+
 #: Builtin exceptions that must not be raised directly (R002); the
 #: repro.errors hierarchy (or a subclass) carries the exit-code
 #: contract.  Control-flow and protocol exceptions stay allowed.
@@ -99,12 +105,69 @@ class Rule:
 
 
 class NoLegacyEntryPoints(Rule):
-    """R001: inside src, all inference goes through repro.api.infer."""
+    """R001: inside src, all inference goes through repro.api.infer.
+
+    Two halves of the same contract.  Everywhere in src, the
+    deprecated pre-façade entry points are off limits.  Additionally,
+    inside ``repro/serve/`` *all* internal imports are confined to the
+    public façade surface (:data:`SERVE_ALLOWED_PACKAGES`): the daemon
+    is a transport, and any inference logic it grew by importing
+    ``repro.core``/``repro.runtime``/``repro.xmlio`` directly would
+    drift from what library callers get.
+    """
 
     code = "R001"
     title = "no internal use of deprecated legacy entry points"
 
+    def _serve_findings(self, module: ParsedModule) -> Iterator[Finding]:
+        def complain(node: ast.AST, imported: str) -> Iterator[Finding]:
+            yield from self._emit(
+                module,
+                node,
+                f"repro.serve may only import the façade surface "
+                f"({', '.join(sorted('repro.' + p for p in SERVE_ALLOWED_PACKAGES - {'serve'}))} "
+                f"and serve-internal modules), not {imported}",
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level == 1:
+                    continue  # serve-internal relative import
+                if node.level >= 2:
+                    if node.module is None:
+                        for alias in node.names:
+                            top = alias.name.split(".")[0]
+                            if top not in SERVE_ALLOWED_PACKAGES:
+                                yield from complain(node, f"repro.{alias.name}")
+                    else:
+                        top = node.module.split(".")[0]
+                        if top not in SERVE_ALLOWED_PACKAGES:
+                            yield from complain(node, f"repro.{node.module}")
+                elif node.module == "repro" or (
+                    node.module is not None
+                    and node.module.startswith("repro.")
+                ):
+                    parts = node.module.split(".")
+                    if len(parts) == 1:
+                        for alias in node.names:
+                            if alias.name not in SERVE_ALLOWED_PACKAGES:
+                                yield from complain(node, f"repro.{alias.name}")
+                    elif parts[1] not in SERVE_ALLOWED_PACKAGES:
+                        yield from complain(node, node.module)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro":
+                        yield from complain(node, "the whole repro package")
+                    elif (
+                        alias.name.startswith("repro.")
+                        and alias.name.split(".")[1]
+                        not in SERVE_ALLOWED_PACKAGES
+                    ):
+                        yield from complain(node, alias.name)
+
     def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if SERVE_PACKAGE_MARKER in module.path.replace("\\", "/"):
+            yield from self._serve_findings(module)
         defined_here = {
             node.name
             for node in ast.walk(module.tree)

@@ -30,8 +30,9 @@ are property-tested against each other in
 
 from __future__ import annotations
 
+import copy
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from collections.abc import Iterable, Mapping
 from typing import TYPE_CHECKING
@@ -46,10 +47,13 @@ from .core.inference import (
 )
 from .errors import CorpusError, UsageError
 from .obs.recorder import NULL_RECORDER, Recorder
-from .xmlio.dtd import Dtd
+from .xmlio.diff import ElementDiff, iter_diffs
+from .xmlio.dtd import Dtd, parse_dtd
 from .xmlio.extract import StreamingEvidence, extract_evidence
 from .xmlio.parser import parse_document, parse_file
 from .xmlio.tree import Document
+from .xmlio.validate import Violation
+from .xmlio.validate import validate as _validate_document
 from .xmlio.xsd import dtd_to_xsd
 
 if TYPE_CHECKING:
@@ -57,7 +61,24 @@ if TYPE_CHECKING:
 
 Source = Document | str | os.PathLike[str] | Iterable["Document | str | os.PathLike[str]"]
 
-__all__ = ["InferenceConfig", "InferenceResult", "infer"]
+#: A DTD given as a parsed :class:`~repro.xmlio.dtd.Dtd`, DTD text
+#: (anything whose first non-blank character is ``<``), or a file path.
+DtdSource = Dtd | str | os.PathLike[str]
+
+__all__ = [
+    "AppendReceipt",
+    "DiffConfig",
+    "DiffResult",
+    "DocumentValidation",
+    "InferenceConfig",
+    "InferenceResult",
+    "InferenceSession",
+    "ValidationConfig",
+    "ValidationResult",
+    "diff",
+    "infer",
+    "validate",
+]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -301,6 +322,101 @@ def _require_surviving_documents(
         )
 
 
+def _load_item(
+    item: Document | str,
+    index: int,
+    *,
+    config: InferenceConfig,
+    degradation: "DegradationReport | None",
+    fault_plan: "FaultPlan | None",
+    max_quarantine: int | None,
+    recorder: Recorder,
+) -> Document | None:
+    """One document through the (possibly resilient) loading path."""
+    if degradation is not None:
+        from .runtime.resilience import load_document
+
+        return load_document(
+            item,
+            index,
+            plan=fault_plan,
+            on_error=config.on_error,
+            report=degradation,
+            max_quarantine=max_quarantine,
+            recorder=recorder,
+        )
+    return item if isinstance(item, Document) else parse_file(item, recorder)
+
+
+def _streaming_evidence(
+    items: list[Document | str],
+    config: InferenceConfig,
+    *,
+    recorder: Recorder,
+    degradation: "DegradationReport | None",
+    fault_plan: "FaultPlan | None",
+    max_quarantine: int | None,
+    index_offset: int = 0,
+) -> StreamingEvidence:
+    """Fold ``items`` into streaming evidence under ``config``.
+
+    The streaming half of :func:`infer`, shared with
+    :meth:`InferenceSession.append`: all-path sources go through the
+    sharded (and, when configured, resilient) extraction pools;
+    anything else folds serially in-process.  ``index_offset`` shifts
+    document indexes on the serial path so a session's fault plan sees
+    corpus-global positions across appends.
+    """
+    paths = [item for item in items if isinstance(item, str)]
+    all_paths = len(paths) == len(items)
+    if config.jobs is not None and config.jobs > 1 and not all_paths:
+        raise UsageError(
+            "jobs > 1 shards file paths across worker processes; "
+            "already-parsed documents and XML literals cannot be "
+            "shipped — pass file paths or drop jobs"
+        )
+    if all_paths and config.resilient:
+        from .runtime.resilience import resilient_evidence
+
+        return resilient_evidence(
+            paths,
+            jobs=config.jobs,
+            backend=config.backend,
+            recorder=recorder,
+            plan=fault_plan,
+            policy=config.retry,
+            on_error=config.on_error,
+            max_quarantine=max_quarantine,
+            deadline=config.shard_deadline,
+            report=degradation,
+        )
+    if all_paths:
+        from .runtime.parallel import parallel_evidence
+
+        return parallel_evidence(
+            paths,
+            jobs=config.jobs,
+            backend=config.backend,
+            recorder=recorder,
+        )
+    evidence = StreamingEvidence()
+    for index, item in enumerate(items, start=index_offset):
+        document = _load_item(
+            item,
+            index,
+            config=config,
+            degradation=degradation,
+            fault_plan=fault_plan,
+            max_quarantine=max_quarantine,
+            recorder=recorder,
+        )
+        if document is None:
+            continue
+        with recorder.span("extract"):
+            evidence.add_document(document, recorder)
+    return evidence
+
+
 def infer(
     source: Source, config: InferenceConfig | None = None
 ) -> InferenceResult:
@@ -346,63 +462,16 @@ def infer(
     items = _expand_source(source)
     if not items:
         raise UsageError("no documents to infer from")
-    paths = [item for item in items if isinstance(item, str)]
-    all_paths = len(paths) == len(items)
-
-    def _load(item: Document | str, index: int) -> Document | None:
-        if degradation is not None:
-            from .runtime.resilience import load_document
-
-            return load_document(
-                item,
-                index,
-                plan=fault_plan,
-                on_error=config.on_error,
-                report=degradation,
-                max_quarantine=config.max_quarantine,
-                recorder=recorder,
-            )
-        return item if isinstance(item, Document) else parse_file(item, recorder)
 
     if config.effective_streaming:
-        if config.jobs is not None and config.jobs > 1 and not all_paths:
-            raise UsageError(
-                "jobs > 1 shards file paths across worker processes; "
-                "already-parsed documents and XML literals cannot be "
-                "shipped — pass file paths or drop jobs"
-            )
-        if all_paths and config.resilient:
-            from .runtime.resilience import resilient_evidence
-
-            evidence = resilient_evidence(
-                paths,
-                jobs=config.jobs,
-                backend=config.backend,
-                recorder=recorder,
-                plan=fault_plan,
-                policy=config.retry,
-                on_error=config.on_error,
-                max_quarantine=config.max_quarantine,
-                deadline=config.shard_deadline,
-                report=degradation,
-            )
-        elif all_paths:
-            from .runtime.parallel import parallel_evidence
-
-            evidence = parallel_evidence(
-                paths,
-                jobs=config.jobs,
-                backend=config.backend,
-                recorder=recorder,
-            )
-        else:
-            evidence = StreamingEvidence()
-            for index, item in enumerate(items):
-                document = _load(item, index)
-                if document is None:
-                    continue
-                with recorder.span("extract"):
-                    evidence.add_document(document, recorder)
+        evidence = _streaming_evidence(
+            items,
+            config,
+            recorder=recorder,
+            degradation=degradation,
+            fault_plan=fault_plan,
+            max_quarantine=config.max_quarantine,
+        )
         _require_surviving_documents(degradation, len(items))
         if recorder.enabled:
             recorder.count("elements", len(evidence.elements))
@@ -411,7 +480,18 @@ def infer(
         documents = [
             document
             for index, item in enumerate(items)
-            if (document := _load(item, index)) is not None
+            if (
+                document := _load_item(
+                    item,
+                    index,
+                    config=config,
+                    degradation=degradation,
+                    fault_plan=fault_plan,
+                    max_quarantine=config.max_quarantine,
+                    recorder=recorder,
+                )
+            )
+            is not None
         ]
         _require_surviving_documents(degradation, len(items))
         with recorder.span("extract", documents=len(documents)):
@@ -439,3 +519,444 @@ def infer(
         recorder=recorder,
         degradation=degradation,
     )
+
+
+def _coerce_dtd(source: DtdSource, *, role: str = "dtd") -> Dtd:
+    """A :class:`Dtd` from a parsed object, DTD text, or a file path."""
+    if isinstance(source, Dtd):
+        return source
+    if isinstance(source, str) and source.lstrip()[:1] == "<":
+        return parse_dtd(source)
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CorpusError(f"cannot read {role} {path}: {exc}") from exc
+        return parse_dtd(text)
+    raise UsageError(
+        f"cannot use {type(source).__name__} as a {role}: expected a Dtd, "
+        "DTD text, or a file path"
+    )
+
+
+# -- validation façade --------------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class ValidationConfig:
+    """Everything that shapes a validation run.
+
+    ``max_violations`` caps how many violations are *kept* per
+    document; the per-document count is always exact.  ``None`` keeps
+    them all.
+    """
+
+    max_violations: int | None = None
+    recorder: Recorder = NULL_RECORDER
+
+    def __post_init__(self) -> None:
+        if self.max_violations is not None and self.max_violations < 0:
+            raise UsageError(
+                f"max_violations must be >= 0, got {self.max_violations}"
+            )
+
+
+@dataclass(frozen=True)
+class DocumentValidation:
+    """One document's verdict against the DTD.
+
+    ``violations`` holds at most ``max_violations`` entries;
+    ``violation_count`` is the true total (so callers can report
+    "INVALID (n violations)" without keeping all n).
+    """
+
+    source: str
+    violations: tuple[Violation, ...]
+    violation_count: int
+
+    @property
+    def valid(self) -> bool:
+        return self.violation_count == 0
+
+    @property
+    def truncated(self) -> bool:
+        """Whether ``violations`` was capped below ``violation_count``."""
+        return len(self.violations) < self.violation_count
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "valid": self.valid,
+            "violation_count": self.violation_count,
+            "truncated": self.truncated,
+            "violations": [
+                {
+                    "path": violation.path,
+                    "element": violation.element,
+                    "kind": violation.kind,
+                    "detail": violation.detail,
+                }
+                for violation in self.violations
+            ],
+        }
+
+
+@dataclass
+class ValidationResult:
+    """What a validation run produced, per document and overall."""
+
+    documents: tuple[DocumentValidation, ...]
+    dtd: Dtd
+    config: ValidationConfig
+
+    @property
+    def valid(self) -> bool:
+        return all(document.valid for document in self.documents)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(document.violation_count for document in self.documents)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "valid": self.valid,
+            "total_violations": self.total_violations,
+            "documents": [document.to_dict() for document in self.documents],
+        }
+
+
+def validate(
+    source: Source, dtd: DtdSource, config: ValidationConfig | None = None
+) -> ValidationResult:
+    """Validate documents against a DTD.
+
+    ``source`` accepts everything :func:`infer` accepts (documents,
+    XML literals, paths, directories, iterables); ``dtd`` accepts a
+    parsed :class:`~repro.xmlio.dtd.Dtd`, DTD text, or a ``.dtd``
+    path.  Violations are collected per document — validation never
+    stops at the first bad document.
+    """
+    if config is None:
+        config = ValidationConfig()
+    recorder = config.recorder
+    schema = _coerce_dtd(dtd)
+    items = _expand_source(source)
+    if not items:
+        raise UsageError("no documents to validate")
+    results: list[DocumentValidation] = []
+    for index, item in enumerate(items):
+        if isinstance(item, Document):
+            label = f"document#{index}"
+            document = item
+        else:
+            label = item
+            document = parse_file(item, recorder)
+        with recorder.span("validate", file=label):
+            violations = _validate_document(document, schema)
+        if recorder.enabled and violations:
+            recorder.count("validate.violations", len(violations))
+        kept = violations
+        if config.max_violations is not None:
+            kept = violations[: config.max_violations]
+        results.append(
+            DocumentValidation(
+                source=label,
+                violations=tuple(kept),
+                violation_count=len(violations),
+            )
+        )
+    return ValidationResult(
+        documents=tuple(results), dtd=schema, config=config
+    )
+
+
+# -- diff façade --------------------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class DiffConfig:
+    """Everything that shapes a schema comparison.
+
+    ``include_equal`` keeps ``equal``-relation entries in the result
+    (by default only differences are reported, matching the CLI).
+    """
+
+    include_equal: bool = False
+    recorder: Recorder = NULL_RECORDER
+
+
+@dataclass
+class DiffResult:
+    """How two DTDs relate, element by element."""
+
+    entries: tuple[ElementDiff, ...]
+    config: DiffConfig
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether every element's content model is language-equal."""
+        return all(entry.relation == "equal" for entry in self.entries)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "equivalent": self.equivalent,
+            "entries": [
+                {
+                    "element": entry.element,
+                    "relation": entry.relation,
+                    "only_in_old": (
+                        list(entry.only_in_old)
+                        if entry.only_in_old is not None
+                        else None
+                    ),
+                    "only_in_new": (
+                        list(entry.only_in_new)
+                        if entry.only_in_new is not None
+                        else None
+                    ),
+                }
+                for entry in self.entries
+            ],
+        }
+
+
+def diff(
+    old: DtdSource, new: DtdSource, config: DiffConfig | None = None
+) -> DiffResult:
+    """Compare two DTDs by exact language inclusion, per element.
+
+    Each argument accepts a parsed :class:`~repro.xmlio.dtd.Dtd`, DTD
+    text, or a file path.  Entries classify the *new* model's language
+    relative to the *old* one (``equal`` / ``tighter`` / ``looser`` /
+    ``incomparable`` / ``missing-old`` / ``missing-new``) with witness
+    words for each strict difference.
+    """
+    if config is None:
+        config = DiffConfig()
+    recorder = config.recorder
+    old_dtd = _coerce_dtd(old, role="old DTD")
+    new_dtd = _coerce_dtd(new, role="new DTD")
+    with recorder.span("diff"):
+        entries = [
+            entry
+            for entry in iter_diffs(old_dtd, new_dtd)
+            if config.include_equal or entry.relation != "equal"
+        ]
+    if recorder.enabled:
+        recorder.count("diff.entries", len(entries))
+    return DiffResult(entries=tuple(entries), config=config)
+
+
+# -- incremental sessions -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppendReceipt:
+    """What one :meth:`InferenceSession.append` call folded in."""
+
+    documents: int
+    total_documents: int
+    elements: int
+
+
+class InferenceSession:
+    """A long-lived inference state that grows one append at a time.
+
+    Each :meth:`append` extracts streaming evidence from the new
+    documents and folds it into the session's accumulated per-element
+    learner states via the same merge monoid the sharded pipeline
+    uses; because contiguous-chunk merges reproduce the sequential
+    fold exactly (reservoirs included), :meth:`current_dtd` is
+    byte-identical to a fresh :func:`infer` over everything appended
+    so far, at any point (ALGORITHMS.md §12).
+
+    Sessions run the streaming pipeline by definition, so
+    ``numeric`` and ``support_threshold`` — which need the full sample
+    materialized — are rejected up front.  A batch-flavoured config is
+    silently promoted to ``streaming=True``.
+
+    Under ``REPRO_CHECKS=1`` every append re-verifies merge
+    commutativity between the accumulated state and the new chunk.
+
+    Instances are not thread-safe; callers that share a session across
+    threads (:mod:`repro.serve` does) must serialize access.  A failed
+    append leaves the session at its pre-append state.
+    """
+
+    def __init__(self, config: InferenceConfig | None = None) -> None:
+        if config is None:
+            config = InferenceConfig(streaming=True)
+        if config.numeric:
+            raise UsageError(
+                "numeric needs the full sample up front: sessions fold "
+                "documents incrementally — use the one-shot batch "
+                "repro.api.infer"
+            )
+        if config.support_threshold > 0:
+            raise UsageError(
+                "support_threshold rereads the full sample: sessions fold "
+                "documents incrementally — use the one-shot batch "
+                "repro.api.infer"
+            )
+        if not config.effective_streaming:
+            config = replace(config, streaming=True)
+        self.config = config
+        self._evidence = StreamingEvidence()
+        self._documents = 0
+        self._closed = False
+        self._degradation: DegradationReport | None = None
+        self._fault_plan: FaultPlan | None = None
+        self._shard_base = 0
+        if config.resilient:
+            from .runtime.resilience import DegradationReport
+
+            self._degradation = DegradationReport()
+            # __post_init__ normalized faults to FaultPlan | None.
+            self._fault_plan = config.faults  # type: ignore[assignment]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def total_documents(self) -> int:
+        """How many documents have been appended (quarantined included)."""
+        return self._documents
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session; further appends/queries raise. Idempotent."""
+        self._closed = True
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise UsageError("session is closed")
+
+    # -- the monoid fold -------------------------------------------------------
+
+    def append(self, source: Source) -> AppendReceipt:
+        """Fold more documents into the session state.
+
+        ``source`` accepts everything :func:`infer` accepts.  All-path
+        chunks go through the same sharded (and resilient, when
+        configured) extraction pools as a one-shot run.
+        """
+        self._require_open()
+        items = _expand_source(source)
+        if not items:
+            raise UsageError("no documents to append")
+        chunk_report: DegradationReport | None = None
+        remaining_quarantine = self.config.max_quarantine
+        if self._degradation is not None:
+            from .runtime.resilience import DegradationReport
+
+            chunk_report = DegradationReport()
+            if remaining_quarantine is not None:
+                remaining_quarantine = max(
+                    0,
+                    remaining_quarantine - len(self._degradation.quarantined),
+                )
+        shard = _streaming_evidence(
+            items,
+            self.config,
+            recorder=self.config.recorder,
+            degradation=chunk_report,
+            fault_plan=self._fault_plan,
+            max_quarantine=remaining_quarantine,
+            index_offset=self._documents,
+        )
+        if contracts_enabled():
+            from .contracts import check_merge_commutative
+
+            check_merge_commutative(self._evidence, shard)
+        self._evidence.merge(shard)
+        if chunk_report is not None:
+            self._fold_degradation(chunk_report)
+        self._documents += len(items)
+        return AppendReceipt(
+            documents=len(items),
+            total_documents=self._documents,
+            elements=len(self._evidence.elements),
+        )
+
+    def _fold_degradation(self, chunk: "DegradationReport") -> None:
+        """Fold one append's degradation into the session-wide report.
+
+        Entries are extended directly (their counters were already
+        recorded when the chunk ran); shard indexes are rebased onto a
+        session-global sequence so ``retried_shards`` stays unique
+        across appends, as the report contract requires.
+        """
+        assert self._degradation is not None
+        self._degradation.quarantined.extend(chunk.quarantined)
+        rebased = self._shard_base
+        for retry in chunk.retried_shards:
+            rebased = max(rebased, self._shard_base + retry.shard + 1)
+            self._degradation.retried_shards.append(
+                replace(retry, shard=self._shard_base + retry.shard)
+            )
+        self._shard_base = rebased
+        self._degradation.fallbacks.extend(chunk.fallbacks)
+
+    def current_dtd(self) -> InferenceResult:
+        """The DTD for everything appended so far.
+
+        Byte-identical to ``infer(<all appended documents>)`` with the
+        session's config.  Does not disturb the session state: appends
+        may continue afterwards.
+        """
+        self._require_open()
+        if self._documents == 0:
+            raise UsageError(
+                "session has no documents: append() before current_dtd()"
+            )
+        _require_surviving_documents(self._degradation, self._documents)
+        recorder = self.config.recorder
+        if self.config.cache:
+            from .runtime.cache import global_content_model_cache
+
+            content_model_cache = global_content_model_cache()
+        else:
+            content_model_cache = None
+        # Finalize against a *copy* of the session report: learner
+        # fallbacks belong to one derivation, and repeated queries must
+        # not accumulate duplicates in the session-wide report.
+        degradation = (
+            copy.deepcopy(self._degradation)
+            if self._degradation is not None
+            else None
+        )
+        inferencer = DTDInferencer(
+            method=self.config.method,
+            sparse_threshold=self.config.sparse_threshold,
+            numeric=False,
+            infer_attributes=self.config.infer_attributes,
+            recorder=recorder,
+            cache=content_model_cache,
+            fault_plan=self._fault_plan,
+            degradation=(
+                degradation if self.config.on_error == "skip" else None
+            ),
+        )
+        if recorder.enabled:
+            recorder.count("elements", len(self._evidence.elements))
+        dtd = inferencer._finalize_streaming(self._evidence)
+        if degradation is not None and contracts_enabled():
+            from .contracts import check_degradation_report
+
+            check_degradation_report(degradation, dtd)
+        return InferenceResult(
+            dtd=dtd,
+            report=inferencer.report,
+            config=self.config,
+            recorder=recorder,
+            degradation=degradation,
+        )

@@ -23,6 +23,7 @@ import sys
 from collections.abc import Sequence
 from typing import NoReturn
 
+from . import api
 from .api import InferenceConfig, infer
 from .contracts import set_contracts
 from .core.crx import crx
@@ -32,8 +33,6 @@ from .obs.recorder import NULL_RECORDER, StatsRecorder
 from .obs.report import format_stats, write_trace
 from .regex.printer import to_dtd_syntax, to_paper_syntax
 from .xmlio.dtd import parse_dtd
-from .xmlio.parser import parse_file
-from .xmlio.validate import validate
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
@@ -104,45 +103,64 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    with open(args.dtd, encoding="utf-8") as handle:
-        dtd = parse_dtd(handle.read())
-    exit_code = 0
-    for path in args.files:
-        document = parse_file(path)
-        violations = validate(document, dtd)
-        if violations:
-            exit_code = 1
-            print(f"{path}: INVALID ({len(violations)} violations)")
-            for violation in violations[: args.max_violations]:
-                print(f"  {violation}")
+    result = api.validate(
+        args.files,
+        args.dtd,
+        api.ValidationConfig(max_violations=args.max_violations),
+    )
+    for document in result.documents:
+        if document.valid:
+            print(f"{document.source}: valid")
         else:
-            print(f"{path}: valid")
-    return exit_code
+            print(
+                f"{document.source}: INVALID "
+                f"({document.violation_count} violations)"
+            )
+            for violation in document.violations:
+                print(f"  {violation}")
+    return EXIT_OK if result.valid else EXIT_USAGE
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    from .xmlio.diff import diff_dtds
-
-    with open(args.old, encoding="utf-8") as handle:
-        old = parse_dtd(handle.read())
+    new: api.DtdSource
     if args.new is not None:
-        with open(args.new, encoding="utf-8") as handle:
-            new = parse_dtd(handle.read())
+        new = args.new
     else:
         if not args.files:
             raise UsageError("diff: need --new DTD or XML files to infer one from")
         new = infer(
             args.files, config=InferenceConfig(method=args.method)
         ).dtd
-    interesting = [
-        entry for entry in diff_dtds(old, new) if entry.relation != "equal"
-    ]
-    if not interesting:
+    result = api.diff(args.old, new)
+    if result.equivalent:
         print("schemas are equivalent element-by-element")
-        return 0
-    for entry in interesting:
+        return EXIT_OK
+    for entry in result.entries:
         print(entry)
-    return 1
+    return EXIT_USAGE
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DEFAULT_PORT, ServeConfig, run_blocking
+
+    if args.check:
+        import os
+
+        os.environ["REPRO_CHECKS"] = "1"
+        set_contracts(True)
+    port = args.port
+    if port is None and args.unix is None:
+        port = DEFAULT_PORT
+    config = ServeConfig(
+        host=args.host,
+        port=port,
+        unix_path=args.unix,
+        max_concurrency=args.max_concurrency,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+    )
+    return run_blocking(config, announce=print)
 
 
 def _cmd_expr(args: argparse.Namespace) -> int:
@@ -323,6 +341,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("auto", "idtd", "crx"), default="auto"
     )
     diff.set_defaults(handler=_cmd_diff)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived inference daemon (HTTP over TCP and/or a "
+        "unix socket); see docs/API.md for endpoints",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="TCP port (0 picks an ephemeral port); omit for unix-only",
+    )
+    serve.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="also (or only) listen on this unix socket path",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="requests processed at once; excess answered 429 (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (X-Repro-Deadline overrides); "
+        "overruns answer 503",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long graceful shutdown waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="disable POST /shutdown (signals still work)",
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="enable debug-mode invariant contracts for the daemon",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     expr = commands.add_parser(
         "expr", help="infer an expression from words on the command line"

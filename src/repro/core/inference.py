@@ -25,7 +25,6 @@ survive as deprecated shims over the same engine.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 from typing import TYPE_CHECKING, Any, Literal
@@ -35,7 +34,7 @@ from ..contracts import (
     check_content_model,
     contracts_enabled,
 )
-from ..errors import CorpusError, UsageError
+from ..errors import CorpusError, UsageError, legacy_entry_point
 from ..learning.tinf import tinf
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Regex
@@ -69,11 +68,7 @@ DEFAULT_SPARSE_THRESHOLD = 50
 
 
 def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+    legacy_entry_point(old, new, stacklevel=4)
 
 
 @dataclass

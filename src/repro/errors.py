@@ -19,10 +19,22 @@ so existing ``except``/``pytest.raises`` clauses keep working.
 The CLI exit-code contract — ``0`` success, ``1`` usage or input
 error, ``2`` internal error — is encoded *once*, in
 :func:`exit_code_for`; :mod:`repro.cli` consumes it rather than
-re-deciding per call site.
+re-deciding per call site.  The HTTP daemon (:mod:`repro.serve`) maps
+the same hierarchy onto status codes the same way — one split, two
+transports.
+
+Deprecation lives here too: :func:`legacy_entry_point` is the single
+gate every legacy shim (``infer_dtd``, ``DTDInferencer.infer*``,
+``infer_parallel``) goes through.  It warns **once per process** per
+entry point, and under ``REPRO_STRICT_API=1`` it raises
+:class:`UsageError` instead — the removal rehearsal mode.
 """
 
 from __future__ import annotations
+
+import os
+import warnings
+from typing import Any
 
 EXIT_OK = 0
 EXIT_USAGE = 1
@@ -39,7 +51,17 @@ class UsageError(ReproError, ValueError):
 
 class CorpusError(ReproError, ValueError):
     """The input data is invalid or insufficient: malformed XML/DTDs,
-    samples with no learnable content."""
+    samples with no learnable content.
+
+    ``degradation`` is ``None`` except when the resilient runtime
+    aborted a run it had already partially degraded: then the raise
+    site attaches the partial
+    :class:`~repro.runtime.resilience.DegradationReport`, so callers
+    (the CLI's stderr summary, :mod:`repro.serve`'s 503 bodies) can
+    show what *was* processed before the abort.
+    """
+
+    degradation: Any | None = None
 
 
 class QuarantineExceeded(CorpusError):
@@ -82,6 +104,46 @@ def exit_code_for(error: BaseException) -> int:
     return EXIT_INTERNAL
 
 
+#: Entry points that already warned this process (see
+#: :func:`legacy_entry_point`).  One warning per name per process: a
+#: service calling a shim in a hot loop logs one line, not millions.
+_WARNED_LEGACY: set[str] = set()
+
+
+def strict_api_enabled() -> bool:
+    """Whether ``REPRO_STRICT_API`` asks legacy shims to raise."""
+    return os.environ.get("REPRO_STRICT_API", "").strip() not in ("", "0")
+
+
+def legacy_entry_point(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """The deprecation gate every legacy shim calls before running.
+
+    Under ``REPRO_STRICT_API=1`` the shim refuses to run at all
+    (:class:`UsageError`, exit 1) — the rehearsal for the scheduled
+    removal (see docs/API.md).  Otherwise a
+    :class:`DeprecationWarning` is emitted the *first* time each entry
+    point is hit in a process and suppressed afterwards.
+    """
+    if strict_api_enabled():
+        raise UsageError(
+            f"{old} is disabled under REPRO_STRICT_API=1 "
+            f"(scheduled for removal); use {new}"
+        )
+    if old in _WARNED_LEGACY:
+        return
+    _WARNED_LEGACY.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which shims warned (tests re-assert warn-once behaviour)."""
+    _WARNED_LEGACY.clear()
+
+
 __all__ = [
     "EXIT_INTERNAL",
     "EXIT_OK",
@@ -93,4 +155,7 @@ __all__ = [
     "ShardTimeout",
     "UsageError",
     "exit_code_for",
+    "legacy_entry_point",
+    "reset_legacy_warnings",
+    "strict_api_enabled",
 ]

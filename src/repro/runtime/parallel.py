@@ -52,7 +52,7 @@ from collections.abc import Callable, Iterable, Sequence
 
 from ..contracts import check_merge_commutative, contracts_enabled
 from ..core.inference import DTDInferencer, Method
-from ..errors import InternalError, UsageError
+from ..errors import InternalError, UsageError, legacy_entry_point
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
 from ..xmlio.extract import StreamingEvidence
@@ -406,11 +406,7 @@ def infer_parallel(
     with peak memory bounded by learner-state size and wall-clock
     divided across ``jobs`` workers.
     """
-    warnings.warn(
-        "infer_parallel is deprecated; use repro.api.infer",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    legacy_entry_point("infer_parallel", "repro.api.infer", stacklevel=3)
     if inferencer is None:
         inferencer = DTDInferencer(method=method)
     evidence = parallel_evidence(

@@ -453,11 +453,13 @@ class DegradationReport:
         if recorder.enabled:
             recorder.count("resilience.quarantined")
         if limit is not None and len(self.quarantined) > limit:
-            raise QuarantineExceeded(
+            error = QuarantineExceeded(
                 f"quarantined {len(self.quarantined)} documents, more than "
                 f"max_quarantine={limit}; the corpus is too broken to "
                 f"degrade gracefully (last: {document.path}: {document.cause})"
             )
+            error.degradation = self
+            raise error
 
     def add_retry(
         self, retry: ShardRetry, recorder: Recorder = NULL_RECORDER
@@ -698,12 +700,18 @@ class _ShardDispatcher:
         arbitrarily late.
         """
         if self.on_error != "skip" and self.first_failure.get(index) == "timeout":
-            raise ShardTimeout(
+            self._finish_retry(index)
+            error = ShardTimeout(
                 f"shard {index} exceeded its deadline after "
                 f"{self.attempts[index]} attempts "
                 f"(deadline={self.deadline}); rerun with on_error='skip' "
                 "to degrade instead"
             )
+            # The run aborts, but the report already holds what was
+            # degraded up to this point — travel with the error so the
+            # CLI/daemon can surface the partial picture.
+            error.degradation = self.report
+            raise error
         self.resharded.add(index)
         if self.recorder.enabled:
             self.recorder.count("resilience.resharded_serial")

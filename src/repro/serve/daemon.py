@@ -1,0 +1,427 @@
+"""The asyncio daemon: listeners, backpressure, deadlines, drain.
+
+Architecture: the event loop owns *admission* — parsing requests off
+TCP/unix-socket connections, enforcing the concurrency limit, and
+framing responses — while the actual work (inference, validation,
+sessions) runs on a bounded thread pool via :class:`ReproApp`, which
+speaks only the public façade.  One slow inference therefore never
+blocks health checks, and the loop's admission counter gives exact
+backpressure: when ``max_concurrency`` requests are in flight, new
+work is answered ``429 Retry-After: 1`` instead of queueing without
+bound.
+
+Request deadlines (``X-Repro-Deadline: <seconds>`` or the server-wide
+default) bound each request two ways: they map onto the engine's
+shard-deadline machinery inside the config (so pooled extraction
+degrades or aborts deterministically), and the loop's ``wait_for``
+answers 503 if the worker overruns anyway.  The worker keeps its slot
+until it actually finishes — a timed-out request does not free
+capacity it is still consuming.
+
+Graceful shutdown (``SIGINT``/``SIGTERM`` or ``POST /shutdown``)
+closes the listeners, lets in-flight requests drain within
+``drain_timeout``, answers anything arriving on kept-alive
+connections 503, then force-closes stragglers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any
+
+from ..errors import UsageError
+from .app import ReproApp, Response, error_response
+from .http import (
+    MAX_BODY,
+    ProtocolError,
+    Request,
+    read_request,
+    render_response,
+)
+
+#: Default TCP port ("VLDB" on a phone keypad would not fit).
+DEFAULT_PORT = 8273
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServeConfig:
+    """Everything that shapes a daemon, validated up front.
+
+    At least one listener (TCP ``port`` and/or ``unix_path``) is
+    required; ``port=0`` binds an ephemeral port (the bound port is on
+    :attr:`ReproServer.port` after start).
+    """
+
+    host: str = "127.0.0.1"
+    port: int | None = None
+    unix_path: str | None = None
+    max_concurrency: int = 8
+    default_deadline: float | None = None
+    drain_timeout: float = 10.0
+    max_body: int = MAX_BODY
+    allow_remote_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.port is None and self.unix_path is None:
+            raise UsageError(
+                "serve needs at least one listener: a TCP port and/or a "
+                "unix socket path"
+            )
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise UsageError(f"port must be 0..65535, got {self.port}")
+        if self.max_concurrency < 1:
+            raise UsageError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise UsageError(
+                f"default_deadline must be positive, got "
+                f"{self.default_deadline}"
+            )
+        if self.drain_timeout < 0:
+            raise UsageError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+
+
+class ReproServer:
+    """One daemon instance: listeners + admission + worker pool."""
+
+    def __init__(self, config: ServeConfig, app: ReproApp | None = None) -> None:
+        self.config = config
+        on_shutdown = (
+            self.request_shutdown if config.allow_remote_shutdown else None
+        )
+        if app is None:
+            app = ReproApp(
+                on_shutdown=on_shutdown, runtime_info=self._runtime_info
+            )
+        else:
+            app.bind_runtime(
+                on_shutdown=on_shutdown, runtime_info=self._runtime_info
+            )
+        self.app = app
+        self.port: int | None = None
+        self._servers: list[asyncio.Server] = []
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._active = 0  # workers occupied (admission/backpressure)
+        self._pending = 0  # requests between admission and response write
+        self._draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        self._drained: asyncio.Event | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def _runtime_info(self) -> dict[str, Any]:
+        return {
+            "active_requests": self._active,
+            "max_concurrency": self.config.max_concurrency,
+            "draining": self._draining,
+        }
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown; safe to call from any thread."""
+        loop, event = self._loop, self._shutdown_requested
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            # The loop already closed: a remote /shutdown finished the
+            # drain before this local request — nothing left to stop.
+            pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind every configured listener."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._drained.set()
+        if self.config.port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        if self.config.unix_path is not None:
+            path = self.config.unix_path
+            # A stale socket file from a crashed predecessor would make
+            # bind fail; a *live* one is a configuration error surfaced
+            # by the bind itself after this unlink races nothing (two
+            # daemons on one path is operator error either way).
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path
+            )
+            self._servers.append(server)
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a shutdown is requested, then drain and stop."""
+        if self._shutdown_requested is None:
+            await self.start()
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, close stragglers."""
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        # Drain: every admitted request gets its response written
+        # (workers that already overran their deadline were answered
+        # 503 and are not waited for).
+        if self._drained is not None and self._pending:
+            with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    self._drained.wait(), self.config.drain_timeout
+                )
+        for writer in list(self._connections):
+            writer.close()
+        for server in self._servers:
+            # 3.12 wait_closed also waits on connection handlers; the
+            # transports were just closed so this returns promptly, but
+            # never let it wedge shutdown.
+            with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
+                await asyncio.wait_for(server.wait_closed(), 1.0)
+        self._servers.clear()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.config.unix_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.config.unix_path)
+
+    # -- per-connection --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body
+                    )
+                except ProtocolError as exc:
+                    self.app.count("protocol_errors")
+                    await self._write(writer, error_response(exc), False)
+                    return
+                if request is None:
+                    return
+                self._pending += 1
+                assert self._drained is not None
+                self._drained.clear()
+                try:
+                    try:
+                        response = await self._respond(request)
+                    except ProtocolError as exc:  # bad deadline header
+                        self.app.count("protocol_errors")
+                        await self._write(writer, error_response(exc), False)
+                        return
+                    keep_alive = request.keep_alive and not self._draining
+                    await self._write(writer, response, keep_alive)
+                finally:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._drained.set()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            self.app.count("connections.reset")
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):  # lint: allow R003 — peer may already be gone
+                await writer.wait_closed()
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+    ) -> None:
+        writer.write(
+            render_response(
+                response.status,
+                response.body(),
+                keep_alive=keep_alive,
+                extra_headers=response.headers,
+            )
+        )
+        await writer.drain()
+
+    # -- admission -------------------------------------------------------------
+
+    async def _respond(self, request: Request) -> Response:
+        if self._draining:
+            self.app.count("draining.rejected")
+            return Response(
+                status=503,
+                payload={
+                    "error": {
+                        "type": "Draining",
+                        "message": "server is shutting down",
+                        "degradation": None,
+                    }
+                },
+                headers={"Retry-After": "1"},
+            )
+        if self._active >= self.config.max_concurrency:
+            self.app.count("backpressure.rejected")
+            return Response(
+                status=429,
+                payload={
+                    "error": {
+                        "type": "OverCapacity",
+                        "message": (
+                            f"{self._active} requests in flight "
+                            f"(limit {self.config.max_concurrency}); retry "
+                            "shortly"
+                        ),
+                        "degradation": None,
+                    }
+                },
+                headers={"Retry-After": "1"},
+            )
+        deadline = request.header_float("x-repro-deadline")
+        if deadline is None:
+            deadline = self.config.default_deadline
+        assert self._loop is not None
+        self._active += 1
+        call = self._loop.run_in_executor(
+            self._executor,
+            partial(
+                self.app.handle,
+                request.method,
+                request.target,
+                request.body,
+                deadline=deadline,
+            ),
+        )
+        call.add_done_callback(self._request_finished)
+        if deadline is None:
+            return await call
+        try:
+            # Shielded: the worker thread cannot be cancelled anyway,
+            # and _request_finished must still run to free the slot.
+            return await asyncio.wait_for(asyncio.shield(call), deadline)
+        except (TimeoutError, asyncio.TimeoutError):
+            self.app.count("deadline.expired")
+            return Response(
+                status=503,
+                payload={
+                    "error": {
+                        "type": "DeadlineExceeded",
+                        "message": (
+                            f"request exceeded its {deadline}s deadline; "
+                            "the worker is still finishing and holds its "
+                            "concurrency slot"
+                        ),
+                        "degradation": None,
+                    }
+                },
+                headers={"Retry-After": "1"},
+            )
+
+    def _request_finished(self, call: "asyncio.Future[Response]") -> None:
+        del call
+        self._active -= 1
+
+
+class ServerThread:
+    """A daemon on its own thread + event loop, for tests and benchmarks.
+
+    Usage::
+
+        with ServerThread(ServeConfig(port=0)) as server:
+            ...  # http.client against server.port
+
+    ``start()`` returns once the listeners are bound; ``stop()`` runs
+    the graceful drain and joins the thread.
+    """
+
+    def __init__(self, config: ServeConfig, app: ReproApp | None = None) -> None:
+        self.server = ReproServer(config, app)
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:  # lint: allow R003 — re-raised on the starting thread
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.serve_until_shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def run_blocking(
+    config: ServeConfig,
+    announce: Callable[[str], None] = lambda line: None,
+) -> int:
+    """Run a daemon until SIGINT/SIGTERM or ``POST /shutdown``.
+
+    The CLI entry point: binds, announces each listener, installs
+    signal handlers, and blocks until shutdown completes.
+    """
+
+    async def _main() -> None:
+        server = ReproServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, server.request_shutdown)
+        if server.port is not None:
+            announce(f"listening on http://{config.host}:{server.port}")
+        if config.unix_path is not None:
+            announce(f"listening on unix:{config.unix_path}")
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())
+    return 0

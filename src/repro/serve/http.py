@@ -1,0 +1,171 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The daemon (:mod:`repro.serve.daemon`) speaks plain HTTP so anything —
+curl, a load balancer's health checker, :mod:`http.client` in the test
+suite — can talk to it without a client library, but the dependency
+budget is the standard library only, so the wire protocol lives here:
+request parsing with bounded line/body sizes, and response rendering
+with keep-alive.
+
+Scope is deliberately narrow: ``Content-Length`` bodies only (no
+chunked transfer), no multipart, no TLS.  Everything the daemon serves
+is small JSON, and anything outside that scope is a
+:class:`ProtocolError` (HTTP 400) rather than silently misparsed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..errors import UsageError
+
+#: Longest accepted request line or header line, in bytes.
+MAX_LINE = 8192
+#: Most headers accepted on one request.
+MAX_HEADERS = 100
+#: Default cap on request bodies, in bytes (the daemon may lower it).
+MAX_BODY = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(UsageError):
+    """The request violates the supported HTTP subset (→ 400)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection stays open after the response
+        (HTTP/1.1 default unless ``Connection: close``)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header_float(self, name: str) -> float | None:
+        """A positive float header value, or None when absent."""
+        raw = self.headers.get(name)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ProtocolError(
+                f"header {name} must be a number, got {raw!r}"
+            ) from None
+        if value <= 0:
+            raise ProtocolError(f"header {name} must be positive, got {raw}")
+        return value
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(f"header line exceeds {MAX_LINE} bytes") from exc
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"header line exceeds {MAX_LINE} bytes")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Malformed input raises :class:`ProtocolError` — the caller answers
+    400 and closes, rather than guessing at framing.
+    """
+    start = await _read_line(reader)
+    if not start:
+        return None
+    parts = start.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {start[:100]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(f"unsupported HTTP version {version!r}")
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if line in (b"\r\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError(f"more than {MAX_HEADERS} headers")
+        name, sep, value = line.decode("latin-1").rstrip("\r\n").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line[:100]!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise ProtocolError(
+            "chunked transfer encoding is not supported; send "
+            "Content-Length bodies"
+        )
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ProtocolError(
+                f"malformed Content-Length {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"negative Content-Length {length}")
+        if length > max_body:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the {max_body}-byte "
+                "limit"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("connection closed mid-body") from exc
+    return Request(method=method, target=target, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response, Content-Length framed."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body

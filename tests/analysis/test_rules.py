@@ -131,6 +131,36 @@ class TestRuleDetails:
         findings = analyze_source("src/repro/core/__init__.py", source)
         assert not any(f.rule == "R001" for f in findings)
 
+    def test_r001_serve_may_not_import_the_engine(self):
+        for source in (
+            "from ..core.inference import DTDInferencer\n",
+            "from ..xmlio.parser import parse_file\n",
+            "from repro.runtime.parallel import parallel_evidence\n",
+            "import repro.xmlio.parser\n",
+            "from .. import xmlio\n",
+            "import repro\n",
+        ):
+            findings = analyze_source("src/repro/serve/app.py", source)
+            assert any(f.rule == "R001" for f in findings), source
+
+    def test_r001_serve_facade_imports_are_clean(self):
+        source = (
+            "from .. import api\n"
+            "from ..api import InferenceConfig\n"
+            "from ..errors import UsageError\n"
+            "from ..obs.recorder import StatsRecorder\n"
+            "from .http import Request\n"
+            "from . import app\n"
+            "import repro.api\n"
+        )
+        findings = analyze_source("src/repro/serve/daemon.py", source)
+        assert not any(f.rule == "R001" for f in findings)
+
+    def test_r001_engine_imports_fine_outside_serve(self):
+        source = "from ..xmlio.parser import parse_file\n"
+        findings = analyze_source("src/repro/runtime/m.py", source)
+        assert not any(f.rule == "R001" for f in findings)
+
     def test_r002_allows_hierarchy_subclasses(self):
         source = (
             "from repro.errors import CorpusError\n"

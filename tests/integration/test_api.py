@@ -249,6 +249,14 @@ class TestResultAndRecorder:
 class TestDeprecatedShimsStillWork:
     """Satellite: `from repro import infer_dtd` etc. keep functioning."""
 
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        # Shims warn once per process; each test re-arms the gate so
+        # pytest.warns observes the warning regardless of suite order.
+        from repro.errors import reset_legacy_warnings
+
+        reset_legacy_warnings()
+
     def test_infer_dtd_shim(self, corpus):
         documents = [parse_file(path) for path in corpus]
         with pytest.warns(DeprecationWarning):

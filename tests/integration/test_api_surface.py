@@ -1,7 +1,8 @@
 """The public API surface: façade exports and deprecation contracts.
 
 Pins down what ``repro.api`` exports and that every legacy entry point
-(a) still works and (b) warns.  A new name showing up in ``__all__`` or
+(a) still works, (b) warns — once per process — and (c) refuses to run
+under ``REPRO_STRICT_API=1``.  A new name showing up in ``__all__`` or
 a shim silently losing its warning should fail loudly here.
 """
 
@@ -9,6 +10,7 @@ import pytest
 
 import repro
 import repro.api
+from repro.errors import UsageError, reset_legacy_warnings
 from repro.xmlio.parser import parse_document
 
 DOCS = [parse_document("<r><x/></r>"), parse_document("<r><x/><x/></r>")]
@@ -16,13 +18,29 @@ DOCS = [parse_document("<r><x/></r>"), parse_document("<r><x/><x/></r>")]
 
 class TestApiSurface:
     def test_api_all_is_exactly_the_facade(self):
-        assert repro.api.__all__ == ["InferenceConfig", "InferenceResult", "infer"]
+        assert repro.api.__all__ == [
+            "AppendReceipt",
+            "DiffConfig",
+            "DiffResult",
+            "DocumentValidation",
+            "InferenceConfig",
+            "InferenceResult",
+            "InferenceSession",
+            "ValidationConfig",
+            "ValidationResult",
+            "diff",
+            "infer",
+            "validate",
+        ]
 
     def test_top_level_reexports(self):
         # The façade is importable from the package root ...
         assert repro.infer is repro.api.infer
+        assert repro.validate is repro.api.validate
+        assert repro.diff is repro.api.diff
         assert repro.InferenceConfig is repro.api.InferenceConfig
         assert repro.InferenceResult is repro.api.InferenceResult
+        assert repro.InferenceSession is repro.api.InferenceSession
         # ... and the historical names still resolve.
         for name in (
             "infer_dtd",
@@ -39,6 +57,7 @@ class TestApiSurface:
     def test_from_repro_import_infer_dtd_still_works(self):
         from repro import infer_dtd  # the satellite's explicit contract
 
+        reset_legacy_warnings()
         with pytest.warns(DeprecationWarning):
             dtd = infer_dtd(DOCS)
         assert "<!ELEMENT r (x+)>" in dtd.render()
@@ -46,6 +65,12 @@ class TestApiSurface:
 
 class TestShimsWarn:
     """All five legacy entry points emit DeprecationWarning."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        # Shims warn once per process; each test re-arms the gate so
+        # pytest.warns observes the warning regardless of suite order.
+        reset_legacy_warnings()
 
     def test_inferencer_infer(self):
         with pytest.warns(DeprecationWarning, match="repro.api.infer"):
@@ -83,3 +108,65 @@ class TestShimsWarn:
         assert not [
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
+
+
+class TestWarnOnce:
+    """Each shim warns on first use only; the gate is resettable."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        reset_legacy_warnings()
+
+    def test_second_call_is_silent(self, recwarn):
+        with pytest.warns(DeprecationWarning):
+            repro.infer_dtd(DOCS)
+        recwarn.clear()
+        repro.infer_dtd(DOCS)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_entry_points_warn_independently(self):
+        # Exhausting one shim's warning must not silence another's.
+        with pytest.warns(DeprecationWarning, match="infer_dtd"):
+            repro.infer_dtd(DOCS)
+        with pytest.warns(DeprecationWarning, match="DTDInferencer.infer "):
+            repro.DTDInferencer().infer(DOCS)
+
+    def test_reset_rearms_the_warning(self):
+        with pytest.warns(DeprecationWarning):
+            repro.infer_dtd(DOCS)
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            repro.infer_dtd(DOCS)
+
+
+class TestStrictApi:
+    """REPRO_STRICT_API=1 turns every shim into a UsageError."""
+
+    @pytest.fixture(autouse=True)
+    def _strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "1")
+        reset_legacy_warnings()
+
+    def test_infer_dtd_refuses(self):
+        with pytest.raises(UsageError, match="REPRO_STRICT_API"):
+            repro.infer_dtd(DOCS)
+
+    def test_inferencer_infer_refuses(self):
+        with pytest.raises(UsageError, match="repro.api.infer"):
+            repro.DTDInferencer().infer(DOCS)
+
+    def test_infer_parallel_refuses(self, tmp_path):
+        path = tmp_path / "d.xml"
+        path.write_text("<r><x/></r>", encoding="utf-8")
+        with pytest.raises(UsageError, match="scheduled for removal"):
+            repro.infer_parallel([str(path)], jobs=1)
+
+    def test_facade_unaffected(self):
+        assert "<!ELEMENT r" in repro.api.infer(DOCS).render()
+
+    def test_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "0")
+        with pytest.warns(DeprecationWarning):
+            repro.infer_dtd(DOCS)

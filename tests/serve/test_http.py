@@ -1,0 +1,163 @@
+"""Unit tests for the HTTP/1.1 subset in :mod:`repro.serve.http`."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY,
+    MAX_HEADERS,
+    MAX_LINE,
+    ProtocolError,
+    Request,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, *, max_body: int = MAX_BODY) -> Request | None:
+    """Feed raw bytes through a StreamReader and parse one request."""
+
+    async def go() -> Request | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body=max_body)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request is not None
+        assert request.method == "GET"
+        assert request.target == "/healthz"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        request = parse(
+            b"POST /infer HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b'{"a"'
+        )
+        assert request is not None
+        assert request.body == b'{"a"'
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Repro-Deadline: 2.5\r\n\r\n")
+        assert request is not None
+        assert request.headers["x-repro-deadline"] == "2.5"
+
+    def test_http_1_0_accepted(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert request is not None
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError, match="malformed request line"):
+            parse(b"GETHTTP/1.1\r\n\r\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError, match="unsupported HTTP version"):
+            parse(b"GET / HTTP/2\r\n\r\n")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError, match="malformed header line"):
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_chunked_rejected(self):
+        with pytest.raises(ProtocolError, match="chunked"):
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"\r\n"
+            )
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError, match="malformed Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_negative_content_length(self):
+        with pytest.raises(ProtocolError, match="negative Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")
+
+    def test_body_over_limit(self):
+        with pytest.raises(ProtocolError, match="exceeds the 8-byte limit"):
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789",
+                max_body=8,
+            )
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError, match="closed mid-body"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+
+    def test_truncated_headers(self):
+        with pytest.raises(ProtocolError, match="closed mid-request"):
+            parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_too_many_headers(self):
+        headers = b"".join(
+            b"H%d: v\r\n" % i for i in range(MAX_HEADERS + 1)
+        )
+        with pytest.raises(ProtocolError, match="more than"):
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+    def test_oversized_header_line(self):
+        with pytest.raises(ProtocolError, match="header line exceeds"):
+            parse(b"GET / HTTP/1.1\r\nX: " + b"v" * (MAX_LINE + 1) + b"\r\n\r\n")
+
+
+class TestRequestHelpers:
+    def test_keep_alive_default(self):
+        assert Request(method="GET", target="/").keep_alive
+
+    def test_connection_close(self):
+        request = Request(
+            method="GET", target="/", headers={"connection": "Close"}
+        )
+        assert not request.keep_alive
+
+    def test_header_float_absent(self):
+        assert Request(method="GET", target="/").header_float("x") is None
+
+    def test_header_float_value(self):
+        request = Request(method="GET", target="/", headers={"x": "1.5"})
+        assert request.header_float("x") == 1.5
+
+    def test_header_float_not_a_number(self):
+        request = Request(method="GET", target="/", headers={"x": "soon"})
+        with pytest.raises(ProtocolError, match="must be a number"):
+            request.header_float("x")
+
+    def test_header_float_nonpositive(self):
+        request = Request(method="GET", target="/", headers={"x": "0"})
+        with pytest.raises(ProtocolError, match="must be positive"):
+            request.header_float("x")
+
+
+class TestRenderResponse:
+    def test_framing(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": true}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(
+            503, b"{}", keep_alive=False, extra_headers={"Retry-After": "1"}
+        )
+        assert raw.startswith(b"HTTP/1.1 503 Service Unavailable\r\n")
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 1" in raw
+
+    def test_unknown_status_still_renders(self):
+        assert render_response(299, b"").startswith(b"HTTP/1.1 299 Unknown")
