@@ -1,9 +1,21 @@
-"""CLI for the repo linter: ``python -m repro.analysis [PATHS...]``.
+"""CLI for the repo analyzer: ``python -m repro.analysis [PATHS...]``.
 
-Exit codes follow the repo convention: ``0`` clean, ``1`` findings (or
-bad usage), ``2`` internal failure of the linter itself.  ``--json``
-switches the report to machine-readable JSON (a list of finding
-objects plus a summary), which is what CI archives.
+Runs the per-file rules (R001-R005) and the whole-program rules
+(R006-R010) in one pass.  Exit codes follow the repo convention:
+``0`` clean, ``1`` findings (or bad usage), ``2`` internal failure of
+the analyzer itself.
+
+Output formats (``--format``):
+
+* ``human`` — one ``path:line:col: CODE message`` line per finding;
+* ``json`` — findings plus summary counts (``--json`` is a
+  backward-compatible alias);
+* ``sarif`` — SARIF 2.1.0 for GitHub code scanning upload.
+
+``--baseline FILE`` suppresses reviewed findings (with reasons) and
+warns about entries that no longer match anything.  ``--stats``
+appends per-rule finding counts and whole-program graph sizes to
+stderr, which is what CI archives alongside the SARIF report.
 """
 
 from __future__ import annotations
@@ -13,14 +25,23 @@ import json
 import sys
 from collections.abc import Sequence
 
-from . import analyze_paths
+from ..errors import UsageError
+from . import Finding, analyze_paths
+from .baseline import Baseline, load_baseline
+from .program_rules import PROGRAM_RULES, ProgramRule
+from .project import Project
 from .rules import ALL_RULES
+from .sarif import to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo-specific AST lint rules (R001-R005) for repro.",
+        description=(
+            "Repo-specific lint: per-file rules R001-R005 plus "
+            "whole-program rules R006-R010 (call graph, concurrency "
+            "safety, layering) for repro."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -29,9 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit findings as JSON instead of human-readable lines",
+        help="alias for --format json (backward compatible)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline of reviewed findings to suppress",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and graph sizes to stderr",
     )
     parser.add_argument(
         "--rules",
@@ -47,44 +85,119 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _select_rules(
+    spec: str | None,
+) -> tuple[list[object], list[object], str | None]:
+    """Split a ``--rules`` spec across both registries."""
+    if spec is None:
+        return list(ALL_RULES), list(PROGRAM_RULES), None
+    wanted = {code.strip() for code in spec.split(",") if code.strip()}
+    known = {rule.code for rule in ALL_RULES} | {
+        rule.code for rule in PROGRAM_RULES
+    }
+    unknown = wanted - known
+    if unknown:
+        return [], [], (
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return (
+        [rule for rule in ALL_RULES if rule.code in wanted],
+        [rule for rule in PROGRAM_RULES if rule.code in wanted],
+        None,
+    )
+
+
+def _print_stats(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    project: Project,
+) -> None:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    print("per-rule findings:", file=sys.stderr)
+    all_codes = [rule.code for rule in ALL_RULES] + [
+        rule.code for rule in PROGRAM_RULES
+    ]
+    for code in all_codes:
+        print(f"  {code}: {counts.get(code, 0)}", file=sys.stderr)
+    if suppressed:
+        print(f"baselined findings: {len(suppressed)}", file=sys.stderr)
+    print("program model:", file=sys.stderr)
+    for key, value in project.stats().items():
+        print(f"  {key}: {value}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    output = "json" if args.json else args.format
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in (*ALL_RULES, *PROGRAM_RULES):
             print(f"{rule.code}  {rule.title}")
         return 0
-    rules = list(ALL_RULES)
-    if args.rules is not None:
-        wanted = {code.strip() for code in args.rules.split(",") if code.strip()}
-        known = {rule.code for rule in ALL_RULES}
-        unknown = wanted - known
-        if unknown:
-            print(
-                f"unknown rule code(s): {', '.join(sorted(unknown))}; "
-                f"known: {', '.join(sorted(known))}",
-                file=sys.stderr,
-            )
+    file_rules, program_rules, problem = _select_rules(args.rules)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
+    baseline = Baseline()
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, UsageError, json.JSONDecodeError) as exc:
+            print(f"repro.analysis: error: {exc}", file=sys.stderr)
             return 1
-        rules = [rule for rule in ALL_RULES if rule.code in wanted]
+    warnings: list[str] = []
     try:
-        findings = analyze_paths(args.paths, rules)
+        findings = analyze_paths(args.paths, file_rules, warnings)
+        project = Project.from_paths(args.paths)
+        for rule in program_rules:
+            assert isinstance(rule, ProgramRule)
+            findings.extend(rule.check(project))
     except (OSError, SyntaxError) as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 1
-    if args.json:
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    kept, suppressed, unused = baseline.filter(findings)
+    for entry in unused:
+        warnings.append(
+            f"baseline entry matches nothing and can be removed: "
+            f"{entry.rule} {entry.path}"
+            + (f" (contains {entry.contains!r})" if entry.contains else "")
+        )
+    for warning in dict.fromkeys(warnings):
+        print(f"warning: {warning}", file=sys.stderr)
+
+    rule_catalog = [
+        (rule.code, rule.title) for rule in (*ALL_RULES, *PROGRAM_RULES)
+    ]
+    if output == "json":
         report = {
-            "findings": [finding.to_dict() for finding in findings],
-            "count": len(findings),
-            "rules": [rule.code for rule in rules],
+            "findings": [finding.to_dict() for finding in kept],
+            "count": len(kept),
+            "suppressed": len(suppressed),
+            "rules": [
+                rule.code for rule in (*file_rules, *program_rules)
+            ],
         }
         json.dump(report, sys.stdout, indent=2)
         print()
+    elif output == "sarif":
+        json.dump(to_sarif(kept, rule_catalog), sys.stdout, indent=2)
+        print()
     else:
-        for finding in findings:
+        for finding in kept:
             print(finding)
-        if findings:
-            print(f"{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+        if kept:
+            print(f"{len(kept)} finding(s)", file=sys.stderr)
+        if suppressed:
+            print(
+                f"{len(suppressed)} finding(s) suppressed by baseline",
+                file=sys.stderr,
+            )
+    if args.stats:
+        _print_stats(kept, suppressed, project)
+    return 1 if kept else 0
 
 
 if __name__ == "__main__":

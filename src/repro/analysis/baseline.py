@@ -1,0 +1,123 @@
+"""Baseline suppression for the analyzer (``--baseline FILE``).
+
+A baseline is a reviewed list of known findings the build should not
+fail on — tech debt with a name and a reason, not a blanket mute.
+The file is JSON::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "R008",
+          "path": "src/repro/runtime/cache.py",
+          "contains": "ContentModelCache",
+          "reason": "locking lands in the follow-up PR"
+        }
+      ]
+    }
+
+An entry matches a finding when the rule code is equal, the finding
+path ends with the entry path (so baselines survive checkout-prefix
+differences), and — when ``contains`` is present — the message
+contains that substring.  ``reason`` is mandatory: a suppression
+nobody can explain is a suppression nobody can ever remove.
+
+Unused entries are reported as warnings so the baseline shrinks as
+the debt is paid instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import UsageError
+from . import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline"]
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One reviewed suppression."""
+
+    rule: str
+    path: str
+    reason: str
+    contains: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        if not finding.path.endswith(self.path):
+            return False
+        return self.contains in finding.message
+
+
+@dataclass(slots=True)
+class Baseline:
+    """A loaded baseline plus match bookkeeping."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split ``findings`` into (kept, suppressed); also return the
+        entries that matched nothing (candidates for deletion)."""
+        used: set[int] = set()
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            hit = False
+            for index, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    used.add(index)
+                    hit = True
+                    break
+            (suppressed if hit else kept).append(finding)
+        unused = [
+            entry
+            for index, entry in enumerate(self.entries)
+            if index not in used
+        ]
+        return kept, suppressed, unused
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Parse a baseline file, validating shape and required fields."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or not isinstance(
+        raw.get("entries"), list
+    ):
+        raise UsageError(
+            f"baseline {path}: expected an object with an 'entries' list"
+        )
+    entries: list[BaselineEntry] = []
+    for position, item in enumerate(raw["entries"]):
+        if not isinstance(item, dict):
+            raise UsageError(
+                f"baseline {path}: entry {position} is not an object"
+            )
+        missing = {"rule", "path", "reason"} - set(item)
+        if missing:
+            raise UsageError(
+                f"baseline {path}: entry {position} is missing "
+                f"{', '.join(sorted(missing))}"
+            )
+        if not str(item["reason"]).strip():
+            raise UsageError(
+                f"baseline {path}: entry {position} has an empty reason; "
+                "every suppression needs a justification"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                reason=str(item["reason"]),
+                contains=str(item.get("contains", "")),
+            )
+        )
+    return Baseline(entries=entries)

@@ -49,7 +49,7 @@ from .errors import CorpusError, UsageError
 from .obs.recorder import NULL_RECORDER, Recorder
 from .xmlio.diff import ElementDiff, iter_diffs
 from .xmlio.dtd import Dtd, parse_dtd
-from .xmlio.extract import StreamingEvidence, extract_evidence
+from .learning.evidence import StreamingEvidence, extract_evidence
 from .xmlio.parser import parse_document, parse_file
 from .xmlio.tree import Document
 from .xmlio.validate import Violation

@@ -50,7 +50,7 @@ if TYPE_CHECKING:
     from .regex.ast import Regex
     from .runtime.resilience import DegradationReport
     from .xmlio.dtd import Dtd
-    from .xmlio.extract import StreamingEvidence
+    from .learning.evidence import StreamingEvidence
 
 __all__ = [
     "ContractViolation",

@@ -39,11 +39,8 @@ from ..learning.tinf import tinf
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Regex
 from ..regex.normalize import normalize
-from ..xmlio import extract as evidence_module
-from ..xmlio.datatypes import sniff_type
-from ..xmlio.dtd import Any as AnyContent
-from ..xmlio.dtd import AttributeDef, Children, Dtd, Empty, Mixed
-from ..xmlio.extract import (
+from ..learning import evidence as evidence_module
+from ..learning.evidence import (
     CorpusEvidence,
     ElementEvidence,
     StreamingElementEvidence,
@@ -51,6 +48,9 @@ from ..xmlio.extract import (
     WordBag,
     extract_evidence,
 )
+from ..xmlio.datatypes import sniff_type
+from ..xmlio.dtd import Any as AnyContent
+from ..xmlio.dtd import AttributeDef, Children, Dtd, Empty, Mixed
 from ..xmlio.tree import Document
 from .crx import CrxState
 from .idtd import idtd_from_soa

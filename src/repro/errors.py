@@ -33,6 +33,7 @@ entry point, and under ``REPRO_STRICT_API=1`` it raises
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from typing import Any
 
@@ -108,6 +109,7 @@ def exit_code_for(error: BaseException) -> int:
 #: :func:`legacy_entry_point`).  One warning per name per process: a
 #: service calling a shim in a hot loop logs one line, not millions.
 _WARNED_LEGACY: set[str] = set()
+_WARNED_LEGACY_LOCK = threading.Lock()
 
 
 def strict_api_enabled() -> bool:
@@ -129,9 +131,10 @@ def legacy_entry_point(old: str, new: str, *, stacklevel: int = 3) -> None:
             f"{old} is disabled under REPRO_STRICT_API=1 "
             f"(scheduled for removal); use {new}"
         )
-    if old in _WARNED_LEGACY:
-        return
-    _WARNED_LEGACY.add(old)
+    with _WARNED_LEGACY_LOCK:
+        if old in _WARNED_LEGACY:
+            return
+        _WARNED_LEGACY.add(old)
     warnings.warn(
         f"{old} is deprecated; use {new}",
         DeprecationWarning,
@@ -141,7 +144,8 @@ def legacy_entry_point(old: str, new: str, *, stacklevel: int = 3) -> None:
 
 def reset_legacy_warnings() -> None:
     """Forget which shims warned (tests re-assert warn-once behaviour)."""
-    _WARNED_LEGACY.clear()
+    with _WARNED_LEGACY_LOCK:
+        _WARNED_LEGACY.clear()
 
 
 __all__ = [

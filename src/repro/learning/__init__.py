@@ -7,21 +7,43 @@
 * :class:`IncrementalSOA` / :class:`IncrementalCRX` — Section 9
   incremental computation;
 * :class:`WeightedSOA` / :func:`idtd_denoised` — Section 9 noise
-  handling with per-edge supports.
+  handling with per-edge supports;
+* :mod:`repro.learning.evidence` — corpus evidence extraction: the
+  batch :class:`CorpusEvidence` sample and the shard-mergeable
+  :class:`StreamingEvidence` fold straight into the incremental
+  learner states above.
 """
 
+from .evidence import (
+    CorpusEvidence,
+    ElementEvidence,
+    StreamingElementEvidence,
+    StreamingEvidence,
+    WordBag,
+    child_sequences,
+    extract_evidence,
+    extract_streaming_evidence,
+)
 from .incremental import IncrementalCRX, IncrementalSOA
 from .noise import DenoisedResult, WeightedSOA, idtd_denoised
 from .sampling import covering_subsample, reservoir_sample
 from .tinf import KTestableAutomaton, ktinf, sample_two_grams, tinf
 
 __all__ = [
+    "CorpusEvidence",
     "DenoisedResult",
+    "ElementEvidence",
     "IncrementalCRX",
     "IncrementalSOA",
     "KTestableAutomaton",
+    "StreamingElementEvidence",
+    "StreamingEvidence",
     "WeightedSOA",
+    "WordBag",
+    "child_sequences",
     "covering_subsample",
+    "extract_evidence",
+    "extract_streaming_evidence",
     "idtd_denoised",
     "ktinf",
     "reservoir_sample",

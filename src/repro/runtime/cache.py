@@ -42,6 +42,7 @@ Hit/miss/eviction counts ride the :mod:`repro.obs` recorder as
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..errors import UsageError
@@ -72,12 +73,20 @@ class ContentModelCache:
     :meth:`invalidate` exists for callers that patch learner internals
     (tests, ablation harnesses) or want to bound memory between
     workloads.
+
+    Thread safety: the serve daemon fans requests over a worker pool
+    and every worker funnels into the shared process-wide instance, so
+    all access to the LRU order and the lifetime counters goes through
+    one internal lock.  ``OrderedDict`` is not safe under concurrent
+    ``move_to_end``/``popitem`` — interleaved reorders corrupt the
+    linked list.
     """
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         if maxsize < 1:
             raise UsageError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, Regex] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -87,28 +96,37 @@ class ContentModelCache:
         self, key: CacheKey, recorder: Recorder = NULL_RECORDER
     ) -> Regex | None:
         """The cached expression for ``key``, or ``None`` on a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            if recorder.enabled:
-                recorder.count("cache.content_model.misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
         if recorder.enabled:
-            recorder.count("cache.content_model.hits")
+            recorder.count(
+                "cache.content_model.hits"
+                if hit
+                else "cache.content_model.misses"
+            )
         return entry
 
     def put(
         self, key: CacheKey, regex: Regex, recorder: Recorder = NULL_RECORDER
     ) -> None:
         """Store ``regex`` under ``key``, evicting the LRU tail if full."""
-        self._entries[key] = regex
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if recorder.enabled:
+        evicted = 0
+        with self._lock:
+            self._entries[key] = regex
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if recorder.enabled:
+            for _ in range(evicted):
                 recorder.count("cache.content_model.evictions")
 
     def invalidate(self) -> int:
@@ -117,25 +135,29 @@ class ContentModelCache:
         Counters (hits/misses/evictions) survive invalidation — they
         describe the cache's lifetime, not its current contents.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
         return dropped
 
     def info(self) -> dict[str, int]:
         """A plain-dict summary (for ``--stats`` consumers and tests)."""
-        return {
-            "entries": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return (
@@ -146,6 +168,7 @@ class ContentModelCache:
 
 
 _GLOBAL_CACHE: ContentModelCache | None = None
+_GLOBAL_CACHE_LOCK = threading.Lock()
 
 
 def global_content_model_cache() -> ContentModelCache:
@@ -154,11 +177,14 @@ def global_content_model_cache() -> ContentModelCache:
     Created lazily on first use; ``InferenceConfig(cache=False)``
     bypasses it entirely.  Call :meth:`ContentModelCache.invalidate`
     on the returned instance to drop all memoized content models.
+    Creation is locked: two serve workers racing the first request
+    must not each build (and then split hits across) separate caches.
     """
     global _GLOBAL_CACHE
-    if _GLOBAL_CACHE is None:
-        _GLOBAL_CACHE = ContentModelCache()
-    return _GLOBAL_CACHE
+    with _GLOBAL_CACHE_LOCK:
+        if _GLOBAL_CACHE is None:
+            _GLOBAL_CACHE = ContentModelCache()
+        return _GLOBAL_CACHE
 
 
 def reset_global_content_model_cache() -> None:
@@ -169,7 +195,8 @@ def reset_global_content_model_cache() -> None:
     hit/miss sequences.
     """
     global _GLOBAL_CACHE
-    _GLOBAL_CACHE = None
+    with _GLOBAL_CACHE_LOCK:
+        _GLOBAL_CACHE = None
 
 
 __all__ = [

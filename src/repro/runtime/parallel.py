@@ -6,7 +6,7 @@ for CRX) and that state merges associatively.  That makes inference
 embarrassingly data-parallel:
 
 * **map** — each worker parses its shard of document *paths* and folds
-  them into a :class:`~repro.xmlio.extract.StreamingEvidence` (constant
+  them into a :class:`~repro.learning.evidence.StreamingEvidence` (constant
   memory in shard size; only file paths cross the process boundary on
   the way in, only learner states on the way out);
 * **reduce** — shard states merge in shard order, which reproduces the
@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import warnings
 from concurrent.futures import (
     BrokenExecutor,
@@ -55,7 +56,7 @@ from ..core.inference import DTDInferencer, Method
 from ..errors import InternalError, UsageError, legacy_entry_point
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
 from ..xmlio.dtd import Dtd
-from ..xmlio.extract import StreamingEvidence
+from ..learning.evidence import StreamingEvidence
 from ..xmlio.parser import parse_file
 
 Backend = str  # "auto" | "process" | "thread" | "serial"
@@ -105,6 +106,12 @@ class WorkerPool:
     shut down at interpreter exit — so a service calling
     :func:`repro.api.infer` repeatedly pays process startup once, not
     per inference.
+
+    Creation, healing and shutdown are serialized on an internal lock:
+    the serve daemon's worker threads all funnel into the same warm
+    pool, and an unlocked lazy create would let two first-callers race
+    to build executors (one of which would leak, its workers never
+    shut down).
     """
 
     def __init__(self, kind: Backend) -> None:
@@ -113,6 +120,7 @@ class WorkerPool:
                 f"warm pools exist for 'process' and 'thread', not {kind!r}"
             )
         self.kind = kind
+        self._lock = threading.Lock()
         self._executor: Executor | None = None
 
     @property
@@ -131,26 +139,30 @@ class WorkerPool:
         the CPU count for process pools and the stdlib's I/O-friendly
         ``min(32, cpus + 4)`` for thread pools.
         """
-        if self._executor is not None and getattr(
-            self._executor, "_broken", False
-        ):
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-        if self._executor is None:
-            cpus = os.cpu_count() or 1
-            if self.kind == "thread":
-                workers = max_workers if max_workers else min(32, cpus + 4)
-                self._executor = ThreadPoolExecutor(max_workers=workers)
-            else:
-                workers = max_workers if max_workers else cpus
-                self._executor = ProcessPoolExecutor(max_workers=workers)
-        return self._executor
+        with self._lock:
+            if self._executor is not None and getattr(
+                self._executor, "_broken", False
+            ):
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if self._executor is None:
+                cpus = os.cpu_count() or 1
+                if self.kind == "thread":
+                    workers = (
+                        max_workers if max_workers else min(32, cpus + 4)
+                    )
+                    self._executor = ThreadPoolExecutor(max_workers=workers)
+                else:
+                    workers = max_workers if max_workers else cpus
+                    self._executor = ProcessPoolExecutor(max_workers=workers)
+            return self._executor
 
     def shutdown(self) -> None:
         """Shut the executor down; the next use lazily recreates it."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
 
 _WARM_POOLS: dict[str, WorkerPool] = {

@@ -70,7 +70,7 @@ from ..errors import (
     UsageError,
 )
 from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
-from ..xmlio.extract import StreamingEvidence
+from ..learning.evidence import StreamingEvidence
 from ..xmlio.parser import ParseFailure, parse_file, try_parse_file
 from ..xmlio.tree import Document
 

@@ -379,7 +379,14 @@ class ServerThread:
             self._thread = None
 
     def _run(self) -> None:
-        asyncio.run(self._main())
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # lint: allow R003 — re-raised on the starting thread
+            # Thread entry point: an escaping exception would kill the
+            # loop thread silently while start()/clients keep waiting.
+            # Record it (start() re-raises) and unblock the starter.
+            self._startup_error = exc
+            self._started.set()
 
     async def _main(self) -> None:
         try:

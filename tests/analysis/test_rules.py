@@ -276,6 +276,31 @@ class TestAllowlistPragma:
         findings = analyze_source("src/repro/core/m.py", source)
         assert any(f.rule == "R002" for f in findings)
 
+    def test_bare_pragma_suppresses_everything_but_warns(self):
+        source = "raise ValueError('x')  # lint: allow\n"
+        warnings: list[str] = []
+        findings = analyze_source("src/repro/core/m.py", source, warnings=warnings)
+        assert not any(f.rule == "R002" for f in findings)
+        assert len(warnings) == 1
+        assert "bare" in warnings[0] and "scope it" in warnings[0]
+
+    def test_scoped_pragma_emits_no_warning(self):
+        source = "raise ValueError('x')  # lint: allow R002 — reviewed\n"
+        warnings: list[str] = []
+        analyze_source("src/repro/core/m.py", source, warnings=warnings)
+        assert warnings == []
+
+    def test_pragma_inside_string_literal_does_not_register(self):
+        # Only real comment tokens count: pragma text in a docstring or
+        # string constant (e.g. the analyzer documenting its own
+        # syntax) must not allowlist the surrounding line.
+        source = (
+            'DOC = "append # lint: allow to the offending line"\n'
+            "raise ValueError('x')\n"
+        )
+        findings = analyze_source("src/repro/core/m.py", source)
+        assert any(f.rule == "R002" for f in findings)
+
 
 class TestCli:
     def test_live_tree_is_clean(self):
@@ -330,3 +355,165 @@ class TestCli:
         target = tmp_path / "m.py"
         target.write_text("x = 1\n")
         assert analyze_paths([target]) == []
+
+    def _bad_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("raise ValueError('x')\n")
+        return bad
+
+    def test_sarif_output_shape(self, tmp_path):
+        bad = self._bad_tree(tmp_path)
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--format",
+                "sarif",
+                str(bad),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        sarif = json.loads(result.stdout)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"R001", "R010"} <= rule_ids
+        (finding,) = run["results"]
+        assert finding["ruleId"] == "R002"
+        location = finding["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 1
+
+    def test_baseline_suppresses_and_reports(self, tmp_path):
+        bad = self._bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "R002",
+                            "path": "core/bad.py",
+                            "contains": "ValueError",
+                            "reason": "fixture acknowledges the raise",
+                        }
+                    ],
+                }
+            )
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--baseline",
+                str(baseline),
+                str(bad),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "suppressed by baseline" in result.stderr
+
+    def test_unused_baseline_entry_warns(self, tmp_path):
+        clean = tmp_path / "m.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "R002",
+                            "path": "gone.py",
+                            "reason": "file was deleted",
+                        }
+                    ],
+                }
+            )
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--baseline",
+                str(baseline),
+                str(clean),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "matches nothing" in result.stderr
+
+    def test_baseline_entry_requires_a_reason(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [{"rule": "R002", "path": "m.py"}],
+                }
+            )
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--baseline",
+                str(baseline),
+                "src/repro/errors.py",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "reason" in result.stderr
+
+    def test_stats_prints_rule_counts_and_graph_sizes(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--stats",
+                "src/repro",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "per-rule findings:" in result.stderr
+        for code in ("R001", "R006", "R010"):
+            assert f"{code}: 0" in result.stderr
+        assert "program model:" in result.stderr
+        assert "call_edges:" in result.stderr
+
+    def test_list_rules_covers_both_registries(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        listed = {
+            line.split()[0]
+            for line in result.stdout.splitlines()
+            if line.strip()
+        }
+        assert listed == {f"R{n:03d}" for n in range(1, 11)}

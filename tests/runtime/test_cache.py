@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-import repro.xmlio.extract as extract_module
+import repro.learning.evidence as extract_module
 from repro.api import InferenceConfig, infer
 from repro.contracts import ContractViolation, contracts_active
 from repro.core.idtd import idtd
