@@ -75,6 +75,11 @@ GATES = [
     Gate("parse_throughput.small.mb_per_s", "min", 5.0),
     Gate("parse_throughput.medium.mb_per_s", "min", 4.0),
     Gate("parse_throughput.large.mb_per_s", "min", 2.5),
+    # Checkpointed incremental re-runs (bench_ckpt.py): with 1% of the
+    # corpus edited, content-hash shard reuse must win at least 5x
+    # over the full run — the whole value proposition of repro.ckpt.
+    # Measured ~8x on the 1-CPU quick profile.
+    Gate("ckpt.incremental_speedup", "min", 5.0),
 ]
 
 # Gates over BENCH_serve.json (bench_serve.py): the warm daemon must

@@ -32,6 +32,12 @@ def update_bench_json(section: str, payload: dict[str, Any], path: str = BENCH_J
         "cpus": os.cpu_count(),
         "scale": os.environ.get("REPRO_BENCH_SCALE", "quick"),
     }
-    with open(path, "w", encoding="utf-8") as handle:
+    # Write-tmp + rename so a crashed benchmark run can't truncate the
+    # other sections' numbers (inline: benchmarks don't import repro).
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)

@@ -26,6 +26,7 @@ import sys
 from collections.abc import Sequence
 
 from ..errors import UsageError
+from ..fsio import atomic_write_json
 from . import Finding, analyze_paths
 from .baseline import Baseline, load_baseline
 from .program_rules import PROGRAM_RULES, ProgramRule
@@ -65,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="JSON baseline of reviewed findings to suppress",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the json/sarif report to FILE (atomically: CI "
+        "uploads must never see a truncated report) instead of stdout",
     )
     parser.add_argument(
         "--stats",
@@ -171,6 +179,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     rule_catalog = [
         (rule.code, rule.title) for rule in (*ALL_RULES, *PROGRAM_RULES)
     ]
+    if args.output is not None and output not in ("json", "sarif"):
+        print(
+            "repro.analysis: error: --output requires --format json or sarif",
+            file=sys.stderr,
+        )
+        return 1
     if output == "json":
         report = {
             "findings": [finding.to_dict() for finding in kept],
@@ -180,11 +194,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                 rule.code for rule in (*file_rules, *program_rules)
             ],
         }
-        json.dump(report, sys.stdout, indent=2)
-        print()
+        if args.output is not None:
+            atomic_write_json(args.output, report, sort_keys=False)
+        else:
+            json.dump(report, sys.stdout, indent=2)
+            print()
     elif output == "sarif":
-        json.dump(to_sarif(kept, rule_catalog), sys.stdout, indent=2)
-        print()
+        document = to_sarif(kept, rule_catalog)
+        if args.output is not None:
+            atomic_write_json(args.output, document, sort_keys=False)
+        else:
+            json.dump(document, sys.stdout, indent=2)
+            print()
     else:
         for finding in kept:
             print(finding)

@@ -760,6 +760,7 @@ class ExceptionFlow(ProgramRule):
 #: ``TYPE_CHECKING``-gated — those kinds are exempt here.
 LAYERS: dict[str, int] = {
     "repro.errors": 0,
+    "repro.fsio": 1,
     "repro.obs": 1,
     "repro.regex": 2,
     "repro.automata": 3,
@@ -769,6 +770,7 @@ LAYERS: dict[str, int] = {
     "repro.core": 6,
     "repro.datagen": 7,
     "repro.runtime": 7,
+    "repro.ckpt": 7,
     "repro.baselines": 8,
     "repro.evaluation": 8,
     "repro.api": 9,

@@ -136,6 +136,15 @@ class InferenceConfig:
         retry: the :class:`~repro.runtime.resilience.RetryPolicy` for
             failed shards (``None``: the default bounded-exponential
             policy with deterministic jitter).
+        state_dir: checkpoint the run into this directory
+            (:mod:`repro.ckpt`): per-shard learner states are persisted
+            durably as they complete, together with a content-hash
+            manifest of the corpus.  Implies streaming and requires
+            file-path sources.
+        resume: with ``state_dir``, reuse every shard of a previous run
+            in that directory whose documents are unchanged — crash
+            recovery and incremental re-runs over edited corpora.  The
+            result is byte-identical to a fresh run either way.
     """
 
     method: Method = "auto"
@@ -153,6 +162,8 @@ class InferenceConfig:
     shard_deadline: float | None = None
     faults: "FaultPlan | Mapping[str, object] | str | None" = None
     retry: "RetryPolicy | None" = None
+    state_dir: str | os.PathLike[str] | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in ("auto", "idtd", "crx"):
@@ -230,11 +241,42 @@ class InferenceConfig:
         if faults is not None and not faults:
             faults = None  # an all-empty plan injects nothing
         object.__setattr__(self, "faults", faults)
+        if self.resume and self.state_dir is None:
+            raise UsageError(
+                "resume continues a checkpointed run: it requires state_dir "
+                "(--state-dir) to name the run directory"
+            )
+        if self.state_dir is not None:
+            if self.on_error == "skip":
+                raise UsageError(
+                    "state_dir checkpoints assume every document folds in; "
+                    "on_error='skip' quarantines documents and cannot be "
+                    "combined with it"
+                )
+            if self.shard_deadline is not None:
+                raise UsageError(
+                    "shard_deadline runs the resilient dispatcher, which "
+                    "does not checkpoint; drop it or drop state_dir"
+                )
+            if faults is not None and (
+                faults.worker_crashes
+                or faults.shard_timeouts
+                or faults.corrupt_docs
+                or faults.element_failures
+                or faults.element_failures_hard
+            ):
+                raise UsageError(
+                    "checkpointed runs support only kill_after_shards fault "
+                    "injection; other faults need the resilient dispatcher, "
+                    "which does not checkpoint"
+                )
 
     @property
     def effective_streaming(self) -> bool:
         """Whether the run uses the streaming pipeline (jobs implies it)."""
-        return self.streaming or self.jobs is not None
+        return (
+            self.streaming or self.jobs is not None or self.state_dir is not None
+        )
 
     @property
     def resilient(self) -> bool:
@@ -374,6 +416,24 @@ def _streaming_evidence(
             "jobs > 1 shards file paths across worker processes; "
             "already-parsed documents and XML literals cannot be "
             "shipped — pass file paths or drop jobs"
+        )
+    if config.state_dir is not None:
+        if not all_paths:
+            raise UsageError(
+                "state_dir checkpoints content-hashed files; "
+                "already-parsed documents and XML literals have no stable "
+                "identity on disk — pass file paths or drop state_dir"
+            )
+        from .ckpt.runner import checkpointed_evidence
+
+        return checkpointed_evidence(
+            paths,
+            state_dir=config.state_dir,
+            resume=config.resume,
+            jobs=config.jobs,
+            backend=config.backend,
+            recorder=recorder,
+            fault_plan=fault_plan,
         )
     if all_paths and config.resilient:
         from .runtime.resilience import resilient_evidence
@@ -798,6 +858,12 @@ class InferenceSession:
                 "support_threshold rereads the full sample: sessions fold "
                 "documents incrementally — use the one-shot batch "
                 "repro.api.infer"
+            )
+        if config.state_dir is not None:
+            raise UsageError(
+                "state_dir checkpoints one-shot corpus runs; sessions keep "
+                "their state in memory across appends — use repro.api.infer "
+                "with state_dir for resumable runs"
             )
         if not config.effective_streaming:
             config = replace(config, streaming=True)

@@ -105,6 +105,25 @@ class SOA:
             self.accepts_empty,
         )
 
+    def canonical_fingerprint(self) -> tuple[object, ...]:
+        """The fingerprint in sorted-tuple form: stable across processes.
+
+        :meth:`fingerprint` builds on frozensets, whose *iteration
+        order* depends on ``PYTHONHASHSEED`` — fine for in-memory dict
+        keys (equality is order-blind) but wrong for anything that
+        serializes or digests the value: two processes would derive
+        different bytes for the same automaton.  On-disk keys —
+        checkpoint state digests, manifests (:mod:`repro.ckpt`) — must
+        go through this form instead.
+        """
+        return (
+            tuple(sorted(self.symbols)),
+            tuple(sorted(self.initial)),
+            tuple(sorted(self.final)),
+            tuple(sorted(self.edges)),
+            self.accepts_empty,
+        )
+
     def successors(self, symbol: str) -> set[str]:
         return {b for (a, b) in self.edges if a == symbol}
 

@@ -1,0 +1,45 @@
+"""Checkpointed, resumable, incremental corpus runs.
+
+This package persists the streaming inference state
+(:class:`repro.learning.evidence.StreamingEvidence`, one per corpus
+shard) to a versioned on-disk *run directory* so that
+
+* an interrupted run (``--resume --state-dir RUN/``) continues from the
+  last durably committed shard and produces output byte-identical to an
+  uninterrupted run, and
+* a re-run over a modified corpus re-parses only the documents whose
+  content hash changed (plus the shards disturbed by additions or
+  deletions), reusing every untouched shard's cached learner state.
+
+Layout of a run directory::
+
+    RUN/
+      lock            advisory lock ({pid, host}), held for the run
+      manifest.json   shard plan: per-document sha256 -> state file
+      shards/
+        <digest16>.state   canonical-JSON evidence, checksummed header
+
+All writes are crash-safe (write-tmp + fsync + atomic rename, see
+:mod:`repro.fsio`); a shard state file is referenced by the manifest
+only after the state bytes themselves are durable, so a kill at any
+point leaves a consistent prefix of the run on disk.
+"""
+
+from .codec import StateDecodeError, decode_state, encode_state, evidence_digest
+from .lock import RunLock, StateDirLocked
+from .manifest import DocumentEntry, Manifest, ShardEntry, load_manifest
+from .runner import checkpointed_evidence
+
+__all__ = [
+    "DocumentEntry",
+    "Manifest",
+    "RunLock",
+    "ShardEntry",
+    "StateDecodeError",
+    "StateDirLocked",
+    "checkpointed_evidence",
+    "decode_state",
+    "encode_state",
+    "evidence_digest",
+    "load_manifest",
+]

@@ -1,0 +1,125 @@
+"""Advisory locking of a run directory.
+
+Two processes checkpointing into the same ``--state-dir`` would
+interleave manifest rewrites and corrupt the run, so the runner takes
+an advisory lock for its whole lifetime.  The lock is a file created
+with ``O_CREAT | O_EXCL`` — atomic on every filesystem we care about —
+holding ``{"pid": ..., "host": ...}`` so a contending process can tell
+*who* owns the directory and whether that owner is still alive.
+
+A lock whose recorded pid is dead (same host) is *stale*: the previous
+run was killed between commit and release.  Stale locks are broken
+exactly once and the acquisition retried; genuine contention raises
+:class:`StateDirLocked`, a :class:`~repro.errors.UsageError`, because
+pointing two runs at one state dir is an operator mistake, not an
+internal failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from contextlib import suppress
+from types import TracebackType
+
+from ..errors import UsageError
+
+LOCK_NAME = "lock"
+
+
+class StateDirLocked(UsageError):
+    """Another live run owns this state directory."""
+
+
+def _read_owner(path: str) -> tuple[int, str] | None:
+    """The ``(pid, host)`` recorded in a lock file; None if unreadable."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    pid = payload.get("pid")
+    host = payload.get("host")
+    if not isinstance(pid, int) or not isinstance(host, str):
+        return None
+    return pid, host
+
+
+def _owner_is_stale(owner: tuple[int, str] | None) -> bool:
+    """True when the lock can safely be broken.
+
+    An unreadable or garbage lock file is stale by definition (a crash
+    mid-write, or debris).  A well-formed one is stale only when the
+    recorded pid is provably dead *on this host*; a lock from another
+    host can never be verified, so it is honoured.
+    """
+    if owner is None:
+        return True
+    pid, host = owner
+    if host != socket.gethostname():
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except PermissionError:
+        return False  # alive, owned by someone else
+    return False
+
+
+class RunLock:
+    """Holds the advisory lock on a run directory for a ``with`` block."""
+
+    def __init__(self, run_dir: str | os.PathLike[str]) -> None:
+        self.path = os.path.join(os.fspath(run_dir), LOCK_NAME)
+        self._held = False
+
+    def acquire(self) -> None:
+        for attempt in range(2):
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = _read_owner(self.path)
+                if attempt == 0 and _owner_is_stale(owner):
+                    # Break the stale lock once, then race for it again
+                    # fairly: a concurrent breaker may win the re-create.
+                    with suppress(FileNotFoundError):
+                        os.unlink(self.path)
+                    continue
+                detail = (
+                    f"pid {owner[0]} on {owner[1]}" if owner else "unknown owner"
+                )
+                raise StateDirLocked(
+                    f"state dir is locked by another run ({detail}): {self.path}"
+                ) from None
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"pid": os.getpid(), "host": socket.gethostname()}, handle
+                )
+            self._held = True
+            return
+        raise StateDirLocked(
+            f"state dir lock contention persists after breaking a stale "
+            f"lock: {self.path}"
+        )
+
+    def release(self) -> None:
+        if self._held:
+            with suppress(FileNotFoundError):
+                os.unlink(self.path)
+            self._held = False
+
+    def __enter__(self) -> "RunLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self.release()

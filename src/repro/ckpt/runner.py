@@ -1,0 +1,347 @@
+"""The checkpointed extraction loop: plan, reuse, dispatch, commit.
+
+:func:`checkpointed_evidence` is a drop-in sibling of
+:func:`repro.runtime.parallel.parallel_evidence` that persists progress
+to a run directory and harvests previous progress from it.
+
+The plan
+--------
+
+1. Hash every corpus document (path + content sha256).
+2. Load the previous manifest, if resuming.  Walk its shards in order
+   and greedily match each one's exact document-hash sequence as a
+   contiguous run in the *new* corpus, never moving backwards.  A
+   matched shard's cached state is loaded and verified; anything else —
+   unmatched, corrupt, truncated — is dropped and its documents fall
+   through to fresh parsing.
+3. The positions no reused shard covers form contiguous *fresh
+   segments*.  They are sharded with the same cost model as a plain
+   parallel run and dispatched on the same warm pools.
+4. As each fresh shard's evidence lands (in corpus order), it is
+   committed durably: state bytes first (write-tmp + fsync + rename),
+   then the manifest naming them.  A kill at any instant leaves a
+   manifest whose every entry points at a complete state file.
+5. All plan entries — reused and fresh — merge in corpus position
+   order, which is exactly the order a serial pass would fold
+   documents, so the result is byte-identical to an uninterrupted,
+   uncached run (reservoir truncation included).
+
+Matching on content hashes (not paths) means renames cost nothing, and
+a changed document invalidates only the shard that contained it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from contextlib import suppress
+from collections.abc import Sequence
+
+from ..contracts import (
+    check_checkpoint_resume,
+    check_checkpoint_roundtrip,
+    check_merge_commutative,
+    contracts_enabled,
+)
+from ..errors import UsageError
+from ..learning.evidence import SAMPLE_CAP, StreamingEvidence
+from ..obs.recorder import NULL_RECORDER, Recorder, Snapshot, StatsRecorder
+from ..runtime.parallel import (
+    BACKENDS,
+    Backend,
+    choose_backend,
+    run_shard_tasks,
+    shard_paths,
+)
+from ..runtime.resilience import CRASH_EXIT_STATUS, FaultPlan
+from .codec import StateDecodeError, file_sha256, read_state, write_state
+from .lock import RunLock
+from .manifest import (
+    SHARD_DIR,
+    DocumentEntry,
+    Manifest,
+    ShardEntry,
+    load_manifest,
+)
+
+
+@dataclass
+class _PlanEntry:
+    """One contiguous slice of the new corpus and where its state comes from."""
+
+    start: int  # corpus position of the first document
+    documents: tuple[DocumentEntry, ...]
+    evidence: StreamingEvidence | None  # pre-loaded for reused shards
+    shard_entry: ShardEntry | None  # manifest entry for reused shards
+    fresh_index: int | None  # dispatch index for fresh shards
+
+
+def _find_run(
+    hashes: Sequence[str], needle: Sequence[str], start: int
+) -> int | None:
+    """First position >= ``start`` where ``needle`` occurs contiguously."""
+    length = len(needle)
+    if length == 0:
+        return None
+    limit = len(hashes) - length
+    position = start
+    while position <= limit:
+        if hashes[position : position + length] == list(needle):
+            return position
+        position += 1
+    return None
+
+
+def _reusable_shards(
+    run_dir: str,
+    old: Manifest | None,
+    entries: Sequence[DocumentEntry],
+    recorder: Recorder,
+) -> list[_PlanEntry]:
+    """Match old shards against the new corpus, loading cached states.
+
+    Greedy and forward-only: old shards committed in corpus order, so
+    scanning each against a monotonically advancing position matches
+    every survivable prefix/infix without quadratic rescans.
+    """
+    if old is None:
+        return []
+    if old.sample_cap != SAMPLE_CAP:
+        # Reservoir truncation depends on the cap; states written under
+        # a different build constant cannot reproduce today's bytes.
+        recorder.count("ckpt.corrupt", len(old.shards))
+        return []
+    hashes = [entry.sha256 for entry in entries]
+    reused: list[_PlanEntry] = []
+    position = 0
+    for shard in old.shards:
+        needle = [document.sha256 for document in shard.documents]
+        found = _find_run(hashes, needle, position)
+        if found is None:
+            continue
+        state_path = os.path.join(run_dir, SHARD_DIR, shard.state_file)
+        try:
+            evidence = read_state(state_path)
+        except StateDecodeError:
+            recorder.count("ckpt.corrupt")
+            continue
+        recorder.count("ckpt.load")
+        recorder.count("ckpt.hit")
+        recorder.count("ckpt.skip", len(shard.documents))
+        reused.append(
+            _PlanEntry(
+                start=found,
+                documents=tuple(entries[found : found + len(needle)]),
+                evidence=evidence,
+                shard_entry=shard,
+                fresh_index=None,
+            )
+        )
+        position = found + len(needle)
+    return reused
+
+
+def _fresh_segments(
+    entries: Sequence[DocumentEntry], reused: Sequence[_PlanEntry]
+) -> list[tuple[int, list[DocumentEntry]]]:
+    """The contiguous corpus runs no reused shard covers."""
+    covered = [False] * len(entries)
+    for plan in reused:
+        for offset in range(len(plan.documents)):
+            covered[plan.start + offset] = True
+    segments: list[tuple[int, list[DocumentEntry]]] = []
+    index = 0
+    while index < len(entries):
+        if covered[index]:
+            index += 1
+            continue
+        start = index
+        while index < len(entries) and not covered[index]:
+            index += 1
+        segments.append((start, list(entries[start:index])))
+    return segments
+
+
+def _resolve_backend(
+    fresh_documents: int, jobs: int | None, backend: Backend
+) -> tuple[Backend, int]:
+    """Backend selection for the fresh part only (cached shards are free)."""
+    if backend not in BACKENDS:
+        raise UsageError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"jobs must be a positive integer, got {jobs}")
+    cpus = os.cpu_count() or 1
+    if backend == "auto":
+        return choose_backend(fresh_documents, jobs, cpus)
+    if backend == "serial":
+        return "serial", 1
+    shard_count = jobs if jobs is not None else cpus
+    if shard_count <= 1 or fresh_documents <= 1:
+        return "serial", 1
+    return backend, shard_count
+
+
+def _collect_garbage(run_dir: str, manifest: Manifest, recorder: Recorder) -> None:
+    """Unlink state files the final manifest no longer references."""
+    shard_dir = os.path.join(run_dir, SHARD_DIR)
+    referenced = manifest.referenced_state_files()
+    try:
+        present = os.listdir(shard_dir)
+    except OSError:
+        return
+    for name in present:
+        if name.endswith(".state") and name not in referenced:
+            with suppress(OSError):
+                os.unlink(os.path.join(shard_dir, name))
+                recorder.count("ckpt.gc")
+
+
+def checkpointed_evidence(
+    paths: Sequence[str],
+    *,
+    state_dir: str | os.PathLike[str],
+    resume: bool = False,
+    jobs: int | None = None,
+    backend: Backend = "auto",
+    recorder: Recorder = NULL_RECORDER,
+    fault_plan: FaultPlan | None = None,
+) -> StreamingEvidence:
+    """Extract streaming evidence with durable per-shard checkpoints.
+
+    ``resume=False`` demands a pristine directory: finding a manifest
+    raises :class:`~repro.errors.UsageError` rather than silently
+    clobbering a previous run.  ``resume=True`` reuses every shard of
+    the old manifest whose exact document-hash run still occurs in the
+    new corpus — which covers both crash recovery (the committed
+    prefix matches trivially) and incremental re-runs over edited
+    corpora.  Either way the returned evidence is byte-identical to a
+    fresh, uncached run over ``paths``.
+
+    ``fault_plan.kill_after_shards`` hard-kills the process (exit
+    status ``CRASH_EXIT_STATUS``) immediately after the named fresh
+    shard commits — the hook the crash/resume property tests use.
+    """
+    run_dir = os.fspath(state_dir)
+    os.makedirs(os.path.join(run_dir, SHARD_DIR), exist_ok=True)
+    with RunLock(run_dir):
+        old = load_manifest(run_dir)
+        if old is not None and not resume:
+            raise UsageError(
+                f"state dir {run_dir} already holds a checkpointed run; "
+                "pass resume=True (--resume) to continue it, or point "
+                "state_dir at a fresh directory"
+            )
+        entries = [
+            DocumentEntry(path=os.fspath(path), sha256=file_sha256(path))
+            for path in paths
+        ]
+        reused = _reusable_shards(run_dir, old if resume else None, entries, recorder)
+        segments = _fresh_segments(entries, reused)
+        fresh_total = sum(len(documents) for _start, documents in segments)
+        chosen, shard_count = _resolve_backend(fresh_total, jobs, backend)
+        if recorder.enabled:
+            recorder.count(f"parallel.backend.{chosen}")
+
+        # Shard each fresh segment proportionally to its share of the
+        # fresh work (ceil, so no segment gets zero shards).
+        plan: list[_PlanEntry] = list(reused)
+        fresh_shards: list[list[str]] = []
+        fresh_documents: list[tuple[DocumentEntry, ...]] = []
+        for start, documents in segments:
+            share = max(
+                1, (len(documents) * shard_count + fresh_total - 1) // fresh_total
+            )
+            offset = start
+            for chunk in shard_paths(
+                [document.path for document in documents], share
+            ):
+                slice_ = tuple(entries[offset : offset + len(chunk)])
+                plan.append(
+                    _PlanEntry(
+                        start=offset,
+                        documents=slice_,
+                        evidence=None,
+                        shard_entry=None,
+                        fresh_index=len(fresh_shards),
+                    )
+                )
+                fresh_shards.append(list(chunk))
+                fresh_documents.append(slice_)
+                offset += len(chunk)
+        plan.sort(key=lambda entry: entry.start)
+
+        manifest = Manifest(sample_cap=SAMPLE_CAP)
+        committed: dict[int, ShardEntry] = {}
+
+        def _store_progress() -> None:
+            """Rewrite the manifest from every durable entry, corpus order."""
+            durable: list[tuple[int, ShardEntry]] = []
+            for entry in plan:
+                if entry.shard_entry is not None:
+                    durable.append((entry.start, entry.shard_entry))
+                elif (
+                    entry.fresh_index is not None
+                    and entry.fresh_index in committed
+                ):
+                    durable.append((entry.start, committed[entry.fresh_index]))
+            manifest.shards = [shard for _start, shard in sorted(
+                durable, key=lambda pair: pair[0]
+            )]
+            manifest.store(run_dir)
+
+        fresh_evidence: dict[int, StreamingEvidence] = {}
+
+        def _commit(
+            index: int, evidence: StreamingEvidence, snapshot: Snapshot | None
+        ) -> None:
+            if contracts_enabled():
+                check_checkpoint_roundtrip(evidence)
+            digest = write_state(
+                os.path.join(run_dir, SHARD_DIR, "pending.state"), evidence
+            )
+            name = f"{digest[:16]}.state"
+            os.replace(
+                os.path.join(run_dir, SHARD_DIR, "pending.state"),
+                os.path.join(run_dir, SHARD_DIR, name),
+            )
+            recorder.count("ckpt.write")
+            committed[index] = ShardEntry(
+                documents=fresh_documents[index],
+                state_file=name,
+                digest=digest,
+            )
+            fresh_evidence[index] = evidence
+            if snapshot is not None and isinstance(recorder, StatsRecorder):
+                recorder.merge_snapshot(snapshot, shard=index)
+            _store_progress()
+            if fault_plan is not None and fault_plan.kills_after(index):
+                os._exit(CRASH_EXIT_STATUS)
+
+        if fresh_shards:
+            run_shard_tasks(chosen, fresh_shards, recorder, on_result=_commit)
+
+        merged = StreamingEvidence()
+        for entry in plan:
+            part = (
+                entry.evidence
+                if entry.evidence is not None
+                else fresh_evidence[entry.fresh_index]  # type: ignore[index]
+            )
+            if contracts_enabled():
+                check_merge_commutative(merged, part)
+            merged.merge(part)
+        if recorder.enabled:
+            recorder.count("shards", len(plan))
+
+        manifest.complete = True
+        _store_progress()
+        _collect_garbage(run_dir, manifest, recorder)
+
+        if contracts_enabled():
+            check_checkpoint_roundtrip(merged)
+            if reused:
+                check_checkpoint_resume(merged, [entry.path for entry in entries])
+        return merged

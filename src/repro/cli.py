@@ -30,7 +30,7 @@ from .core.crx import crx
 from .core.idtd import idtd
 from .errors import EXIT_INTERNAL, EXIT_OK, EXIT_USAGE, ReproError, UsageError, exit_code_for
 from .obs.recorder import NULL_RECORDER, StatsRecorder
-from .obs.report import format_stats, write_trace
+from .obs.report import format_stats, write_trace_path
 from .regex.printer import to_dtd_syntax, to_paper_syntax
 from .xmlio.dtd import parse_dtd
 
@@ -64,6 +64,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         max_quarantine=args.max_quarantine,
         shard_deadline=args.shard_deadline,
         faults=faults,
+        state_dir=args.state_dir,
+        resume=args.resume,
     )
     result = infer(args.files, config=config)
     if args.format == "dtd":
@@ -77,8 +79,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     if wants_stats:
         snapshot = recorder.snapshot()
         if args.trace is not None:
-            with open(args.trace, "w", encoding="utf-8") as handle:
-                write_trace(snapshot, handle)
+            write_trace_path(snapshot, args.trace)
         if args.stats:
             print(format_stats(snapshot), file=sys.stderr)
     return EXIT_OK
@@ -289,6 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
         "worker_crashes/shard_timeouts/corrupt_docs/element_failures "
         "(see repro.runtime.resilience.FaultPlan; REPRO_FAULTS env "
         "works too)",
+    )
+    infer.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint the run into DIR: per-shard learner states are "
+        "committed durably as they complete, with a content-hash manifest "
+        "of the corpus (implies --streaming; requires file paths)",
+    )
+    infer.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --state-dir: reuse every shard of the previous run in "
+        "DIR whose documents are unchanged (crash recovery and "
+        "incremental re-runs); output is byte-identical to a fresh run",
     )
     infer.add_argument(
         "--check",

@@ -55,6 +55,8 @@ if TYPE_CHECKING:
 __all__ = [
     "ContractViolation",
     "check_cached_content_model",
+    "check_checkpoint_resume",
+    "check_checkpoint_roundtrip",
     "check_degradation_report",
     "check_emitted_chare",
     "check_emitted_sore",
@@ -395,4 +397,54 @@ def check_merge_commutative(
         raise _violated(
             "parallel.merge-commutativity",
             "document counts disagree between merge orders",
+        )
+
+
+# -- checkpoint invariants (repro.ckpt) ---------------------------------------
+
+
+def check_checkpoint_roundtrip(evidence: StreamingEvidence) -> None:
+    """Encoding and decoding evidence must be the identity.
+
+    The on-disk codec goes through canonical JSON, so the digest of a
+    decoded state must equal the digest of the original — anything
+    else means ``dehydrate``/``hydrate`` drop or distort a field and a
+    resumed run would silently diverge from a fresh one.
+
+    Imports lazily: contracts (layer 5) cannot eagerly depend on the
+    checkpoint package (layer 7).
+    """
+    from .ckpt.codec import decode_state, encode_state, evidence_digest
+
+    original = evidence_digest(evidence)
+    restored = evidence_digest(decode_state(encode_state(evidence)))
+    if original != restored:
+        raise _violated(
+            "ckpt.roundtrip-identity",
+            f"evidence digest changed across encode/decode: {original[:16]} "
+            f"!= {restored[:16]}; dehydrate/hydrate lose state",
+        )
+
+
+def check_checkpoint_resume(
+    evidence: StreamingEvidence, paths: list[str]
+) -> None:
+    """Evidence assembled from cached shards must equal a fresh pass.
+
+    Re-extracts the whole corpus serially (expensive — this is why
+    contracts are opt-in) and compares canonical digests.  A mismatch
+    means shard reuse changed the result: stale cache matching, wrong
+    merge order, or reservoir divergence.
+    """
+    from .ckpt.codec import evidence_digest
+    from .runtime.parallel import extract_from_paths
+
+    cached = evidence_digest(evidence)
+    fresh = evidence_digest(extract_from_paths(paths))
+    if cached != fresh:
+        raise _violated(
+            "ckpt.resume-equals-fresh",
+            f"checkpoint-assembled evidence ({cached[:16]}) differs from a "
+            f"fresh serial pass ({fresh[:16]}) over the same {len(paths)} "
+            "documents",
         )

@@ -119,6 +119,27 @@ class CrxState:
             frozenset(self.profiles.items()),
         )
 
+    def canonical_fingerprint(self) -> tuple[object, ...]:
+        """The fingerprint in sorted-tuple form: stable across processes.
+
+        :meth:`fingerprint` is frozenset-based, so its iteration order
+        (hence any serialization or digest of it) varies with
+        ``PYTHONHASHSEED``.  Anything leaving the process — checkpoint
+        state digests and manifests (:mod:`repro.ckpt`) — must use this
+        canonical form, which sorts every level including the occurrence
+        profiles themselves.
+        """
+        return (
+            tuple(sorted(self.alphabet)),
+            tuple(sorted(self.arrows)),
+            tuple(
+                sorted(
+                    (tuple(sorted(profile)), count)
+                    for profile, count in self.profiles.items()
+                )
+            ),
+        )
+
     def merge(self, other: "CrxState") -> None:
         """Fold another state into this one in place.
 

@@ -149,6 +149,10 @@ class DTDInferencer:
     ) -> CacheKey:
         """Key = learner method + active reservoir cap + state digest.
 
+        The state digest is the *canonical* (sorted-tuple) fingerprint
+        — hash-seed independent, so the same key bytes would be derived
+        in any process, which keeps cache keys consistent with the
+        on-disk digests :mod:`repro.ckpt` computes from the same states.
         ``SAMPLE_CAP`` is looked up through the module so runs under a
         patched cap (tests, ablations) never alias cached entries.
         When a fault plan injects learner failures the key also carries
@@ -211,7 +215,7 @@ class DTDInferencer:
                     state.add_counted(word, count)
                 regex = self._memoized(
                     "crx",
-                    state.fingerprint,
+                    state.canonical_fingerprint,
                     lambda: state.infer(recorder=recorder),
                     name,
                 )
@@ -224,7 +228,7 @@ class DTDInferencer:
                     return idtd_from_soa(soa, recorder=recorder).regex
 
             regex = self._memoized(
-                "idtd", soa.fingerprint, derive_sore, name
+                "idtd", soa.canonical_fingerprint, derive_sore, name
             )
         if self.numeric:
             # Numeric bounds read the full distinct-word sample, which
@@ -355,7 +359,7 @@ class DTDInferencer:
 
                 return self._memoized(
                     "crx",
-                    evidence.crx.state.fingerprint,
+                    evidence.crx.state.canonical_fingerprint,
                     derive_chare,
                     evidence.name,
                 )
@@ -368,7 +372,7 @@ class DTDInferencer:
                     return evidence.soa.infer(recorder=recorder)
 
             return self._memoized(
-                "idtd", evidence.soa.soa.fingerprint, derive_sore, evidence.name
+                "idtd", evidence.soa.soa.canonical_fingerprint, derive_sore, evidence.name
             )
 
         regex, method = self._derive_children(

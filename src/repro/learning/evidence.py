@@ -35,11 +35,17 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from time import perf_counter  # lint: allow R005 — feeds the recorder only
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 
+from ..errors import CorpusError
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..xmlio.tree import Document, Element
-from .incremental import IncrementalCRX, IncrementalSOA
+from .incremental import (
+    IncrementalCRX,
+    IncrementalSOA,
+    _payload_int,
+    _payload_strings,
+)
 
 Word = tuple[str, ...]
 
@@ -311,6 +317,73 @@ class StreamingElementEvidence:
         self.has_text = self.has_text or other.has_text
         _merge_reservoirs(self, other)
 
+    def dehydrate(self) -> dict[str, object]:
+        """Everything this evidence holds, as sorted JSON-ready values.
+
+        Learner states go through their canonical (sorted) forms;
+        reservoirs keep their order because it *is* part of the state
+        (first-``SAMPLE_CAP``-in-document-order semantics).
+        """
+        return {
+            "name": self.name,
+            "soa": self.soa.dehydrate(),
+            "crx": self.crx.dehydrate(),
+            "occurrences": self.occurrences,
+            "nonempty_count": self.nonempty_count,
+            "empty_count": self.empty_count,
+            "has_text": self.has_text,
+            "text_values": list(self.text_values),
+            "attribute_values": {
+                attribute: list(values)
+                for attribute, values in sorted(self.attribute_values.items())
+            },
+            "attribute_presence": dict(sorted(self.attribute_presence.items())),
+        }
+
+    @classmethod
+    def hydrate(cls, payload: Mapping[str, object]) -> "StreamingElementEvidence":
+        """Rebuild element evidence from :meth:`dehydrate` output."""
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise CorpusError("element evidence payload lacks a name")
+        evidence = cls(name)
+        soa_payload = payload.get("soa")
+        crx_payload = payload.get("crx")
+        if not isinstance(soa_payload, Mapping) or not isinstance(
+            crx_payload, Mapping
+        ):
+            raise CorpusError(
+                f"element evidence for {name!r} lacks learner states"
+            )
+        evidence.soa = IncrementalSOA.hydrate(soa_payload)
+        evidence.crx = IncrementalCRX.hydrate(crx_payload)
+        evidence.occurrences = _payload_int(payload, "occurrences")
+        evidence.nonempty_count = _payload_int(payload, "nonempty_count")
+        evidence.empty_count = _payload_int(payload, "empty_count")
+        evidence.has_text = bool(payload.get("has_text", False))
+        evidence.text_values = _payload_strings(payload, "text_values")
+        raw_values = payload.get("attribute_values", {})
+        raw_presence = payload.get("attribute_presence", {})
+        if not isinstance(raw_values, Mapping) or not isinstance(
+            raw_presence, Mapping
+        ):
+            raise CorpusError(
+                f"element evidence for {name!r} has malformed attributes"
+            )
+        for attribute, values in raw_values.items():
+            if not isinstance(attribute, str):
+                raise CorpusError(f"attribute name is not a string: {attribute!r}")
+            evidence.attribute_values[attribute] = _payload_strings(
+                raw_values, attribute
+            )
+        for attribute, count in raw_presence.items():
+            if not isinstance(attribute, str) or not isinstance(count, int):
+                raise CorpusError(
+                    f"attribute presence entry is malformed: {attribute!r}"
+                )
+            evidence.attribute_presence[attribute] = count
+        return evidence
+
 
 class StreamingEvidence:
     """Corpus evidence folded on the fly into learner states.
@@ -360,6 +433,56 @@ class StreamingEvidence:
 
     def majority_root(self) -> str | None:
         return _majority(self.root_counts)
+
+    def dehydrate(self) -> dict[str, object]:
+        """The whole evidence as one canonical JSON-ready document.
+
+        Elements and root counts are emitted sorted by name, so two
+        processes that folded the same documents produce byte-identical
+        serializations regardless of ``PYTHONHASHSEED`` — the property
+        :mod:`repro.ckpt` digests rely on.
+        """
+        return {
+            "elements": [
+                self.elements[name].dehydrate()
+                for name in sorted(self.elements)
+            ],
+            "root_counts": [
+                [name, count] for name, count in sorted(self.root_counts.items())
+            ],
+            "document_count": self.document_count,
+        }
+
+    @classmethod
+    def hydrate(cls, payload: Mapping[str, object]) -> "StreamingEvidence":
+        """Rebuild corpus evidence from :meth:`dehydrate` output."""
+        evidence = cls()
+        raw_elements = payload.get("elements", [])
+        if not isinstance(raw_elements, list):
+            raise CorpusError("evidence payload field 'elements' is not a list")
+        for entry in raw_elements:
+            if not isinstance(entry, Mapping):
+                raise CorpusError(f"element evidence entry is malformed: {entry!r}")
+            element = StreamingElementEvidence.hydrate(entry)
+            if element.name in evidence.elements:
+                raise CorpusError(
+                    f"element evidence repeats name {element.name!r}"
+                )
+            evidence.elements[element.name] = element
+        raw_roots = payload.get("root_counts", [])
+        if not isinstance(raw_roots, list):
+            raise CorpusError("evidence payload field 'root_counts' is not a list")
+        for entry in raw_roots:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], int)
+            ):
+                raise CorpusError(f"root count entry is malformed: {entry!r}")
+            evidence.root_counts[entry[0]] = entry[1]
+        evidence.document_count = _payload_int(payload, "document_count")
+        return evidence
 
 
 def extract_evidence(

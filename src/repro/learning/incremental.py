@@ -17,7 +17,8 @@ callers can skip re-deriving when new data adds no new evidence.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..automata.soa import SOA
 from ..core.crx import CrxState, quantifier_for
@@ -27,6 +28,51 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Regex
 
 Word = Sequence[str]
+
+
+# -- (de)hydration helpers ----------------------------------------------------
+#
+# ``dehydrate`` produces plain JSON-ready values with every set sorted,
+# so the bytes a checkpoint derives from them are independent of
+# PYTHONHASHSEED; ``hydrate`` validates defensively because the payload
+# crossed a process/disk boundary (repro.ckpt checksums whole files,
+# but a version skew still deserves a typed error, not a TypeError).
+
+
+def _payload_strings(payload: Mapping[str, object], key: str) -> list[str]:
+    value = payload.get(key, [])
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise CorpusError(f"learner state field {key!r} is not a string list")
+    return value
+
+
+def _payload_pairs(
+    payload: Mapping[str, object], key: str
+) -> list[tuple[str, str]]:
+    value = payload.get(key, [])
+    if not isinstance(value, list):
+        raise CorpusError(f"learner state field {key!r} is not a list")
+    pairs: list[tuple[str, str]] = []
+    for item in value:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not all(isinstance(part, str) for part in item)
+        ):
+            raise CorpusError(
+                f"learner state field {key!r} holds a malformed pair: {item!r}"
+            )
+        pairs.append((item[0], item[1]))
+    return pairs
+
+
+def _payload_int(payload: Mapping[str, object], key: str) -> int:
+    value = payload.get(key, 0)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise CorpusError(f"learner state field {key!r} is not an integer")
+    return value
 
 
 class IncrementalSOA:
@@ -112,6 +158,30 @@ class IncrementalSOA:
             recorder.count("cache.hits")
         return self._cached
 
+    def dehydrate(self) -> dict[str, object]:
+        """The ``(I, F, S)`` triple as sorted, JSON-ready values."""
+        soa = self.soa
+        return {
+            "symbols": sorted(soa.symbols),
+            "initial": sorted(soa.initial),
+            "final": sorted(soa.final),
+            "edges": [list(edge) for edge in sorted(soa.edges)],
+            "accepts_empty": soa.accepts_empty,
+        }
+
+    @classmethod
+    def hydrate(cls, payload: Mapping[str, object]) -> "IncrementalSOA":
+        """Rebuild a learner from :meth:`dehydrate` output."""
+        learner = cls()
+        learner.soa = SOA(
+            symbols=set(_payload_strings(payload, "symbols")),
+            initial=set(_payload_strings(payload, "initial")),
+            final=set(_payload_strings(payload, "final")),
+            edges=set(_payload_pairs(payload, "edges")),
+            accepts_empty=bool(payload.get("accepts_empty", False)),
+        )
+        return learner
+
 
 class IncrementalCRX:
     """Incremental CRX: change-tracking wrapper over CrxState.
@@ -176,3 +246,62 @@ class IncrementalCRX:
         else:
             recorder.count("cache.hits")
         return self._cached
+
+    def dehydrate(self) -> dict[str, object]:
+        """Arrow relation + occurrence profiles as sorted JSON values."""
+        state = self.state
+        return {
+            "alphabet": sorted(state.alphabet),
+            "arrows": [list(arrow) for arrow in sorted(state.arrows)],
+            "profiles": [
+                [[[symbol, count] for symbol, count in profile], multiplicity]
+                for profile, multiplicity in sorted(
+                    (tuple(sorted(profile)), multiplicity)
+                    for profile, multiplicity in state.profiles.items()
+                )
+            ],
+            "word_count": state.word_count,
+        }
+
+    @classmethod
+    def hydrate(cls, payload: Mapping[str, object]) -> "IncrementalCRX":
+        """Rebuild a learner from :meth:`dehydrate` output."""
+        learner = cls()
+        state = learner.state
+        state.alphabet = set(_payload_strings(payload, "alphabet"))
+        state.arrows = set(_payload_pairs(payload, "arrows"))
+        state.word_count = _payload_int(payload, "word_count")
+        raw_profiles = payload.get("profiles", [])
+        if not isinstance(raw_profiles, list):
+            raise CorpusError("learner state field 'profiles' is not a list")
+        profiles: Counter[frozenset[tuple[str, int]]] = Counter()
+        for entry in raw_profiles:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise CorpusError(
+                    f"learner state profile entry is malformed: {entry!r}"
+                )
+            raw_profile, multiplicity = entry
+            if not isinstance(raw_profile, list) or not isinstance(
+                multiplicity, int
+            ):
+                raise CorpusError(
+                    f"learner state profile entry is malformed: {entry!r}"
+                )
+            profile: list[tuple[str, int]] = []
+            for pair in raw_profile:
+                if (
+                    not isinstance(pair, (list, tuple))
+                    or len(pair) != 2
+                    or not isinstance(pair[0], str)
+                    or not isinstance(pair[1], int)
+                ):
+                    raise CorpusError(
+                        f"learner state profile pair is malformed: {pair!r}"
+                    )
+                profile.append((pair[0], pair[1]))
+            profiles[frozenset(profile)] += multiplicity
+        state.profiles = profiles
+        unknown = {a for pair in state.arrows for a in pair} - state.alphabet
+        if unknown:
+            raise CorpusError(f"learner state arrows use unknown symbols: {unknown}")
+        return learner

@@ -168,6 +168,21 @@ def write_trace(snapshot: Snapshot, stream: TextIO) -> int:
     return lines
 
 
+def write_trace_path(snapshot: Snapshot, path: str) -> int:
+    """Write the trace to ``path`` atomically; returns lines written.
+
+    Trace files are consumed by external tooling
+    (``python -m repro.obs.check_trace``, dashboards); an interrupted
+    run must leave either the previous trace or the complete new one,
+    never a prefix — hence :func:`repro.fsio.atomic_write_text`.
+    """
+    from ..fsio import atomic_write_text
+
+    lines = list(iter_trace_lines(snapshot))
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
+    return len(lines)
+
+
 def summary_dict(snapshot: Snapshot) -> dict[str, Any]:
     """A compact machine-readable digest (used by the benchmarks)."""
     totals = phase_totals(snapshot)
@@ -194,4 +209,5 @@ __all__ = [
     "phase_totals",
     "summary_dict",
     "write_trace",
+    "write_trace_path",
 ]

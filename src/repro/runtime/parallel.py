@@ -263,6 +263,7 @@ def _pooled_results(
     pool: WorkerPool,
     worker: Callable[[_TaskT], _ResultT],
     work: Sequence[_TaskT],
+    on_result: Callable[[int, _ResultT], None] | None = None,
 ) -> list[_ResultT]:
     """Run ``work`` on the warm pool, surviving one worker death per task.
 
@@ -279,22 +280,92 @@ def _pooled_results(
     reshard-to-serial, fault injection) live in
     :func:`repro.runtime.resilience.resilient_evidence`, which callers
     opt into via ``on_error=`` / fault plans.
+
+    ``on_result`` (when given) fires in the gathering thread, in
+    submission order, as each result becomes available — the hook
+    :mod:`repro.ckpt` uses to commit a durable checkpoint per shard
+    before later shards are even gathered.
     """
     futures = [pool.executor().submit(worker, task) for task in work]
     results: list[_ResultT] = []
     for index, task in enumerate(work):
         try:
-            results.append(futures[index].result())
+            result = futures[index].result()
         except BrokenExecutor:
             try:
-                results.append(pool.executor().submit(worker, task).result())
+                result = pool.executor().submit(worker, task).result()
             except BrokenExecutor:
                 raise InternalError(
                     f"worker pool broke twice while processing shard "
                     f"{index}: the failure reproduces on resubmission, so "
                     "a worker-killing bug travels with this shard's input"
                 ) from None
+        if on_result is not None:
+            on_result(index, result)
+        results.append(result)
     return results
+
+
+def run_shard_tasks(
+    chosen: Backend,
+    shards: Sequence[Sequence[str]],
+    recorder: Recorder = NULL_RECORDER,
+    on_result: Callable[[int, StreamingEvidence, Snapshot | None], None]
+    | None = None,
+) -> list[tuple[StreamingEvidence, Snapshot | None]]:
+    """Extract every shard on an already-resolved backend.
+
+    The lower half of :func:`parallel_evidence`, exposed for callers —
+    :func:`repro.ckpt.runner.checkpointed_evidence` — that plan their
+    own shard lists but want the same dispatch machinery: serial runs
+    inline, ``thread``/``process`` use the warm pools with single-retry
+    healing.  Results return in shard (corpus) order; ``on_result``
+    fires once per shard *in that order* as results land, so a caller
+    can durably commit shard ``i`` before shard ``i+1`` is gathered.
+
+    With a live ``recorder`` each shard runs under its own
+    :class:`StatsRecorder` and its snapshot is returned (not merged —
+    the caller owns merge order); otherwise the snapshot slot is None.
+    """
+    if chosen == "serial":
+        results: list[tuple[StreamingEvidence, Snapshot | None]] = []
+        for index, shard in enumerate(shards):
+            if recorder.enabled:
+                evidence, snapshot = _extract_shard_recorded((index, shard))
+            else:
+                evidence, snapshot = extract_from_paths(shard), None
+            if on_result is not None:
+                on_result(index, evidence, snapshot)
+            results.append((evidence, snapshot))
+        return results
+    pool = warm_pool(chosen)
+    if recorder.enabled:
+
+        def recorded_hook(
+            index: int, result: tuple[StreamingEvidence, Snapshot]
+        ) -> None:
+            if on_result is not None:
+                on_result(index, result[0], result[1])
+
+        recorded = _pooled_results(
+            pool,
+            _extract_shard_recorded,
+            list(enumerate(shards)),
+            on_result=recorded_hook,
+        )
+        return [(evidence, snapshot) for evidence, snapshot in recorded]
+
+    def plain_hook(index: int, evidence: StreamingEvidence) -> None:
+        if on_result is not None:
+            on_result(index, evidence, None)
+
+    plain = _pooled_results(
+        pool,
+        extract_from_paths,
+        [list(shard) for shard in shards],
+        on_result=plain_hook,
+    )
+    return [(evidence, None) for evidence in plain]
 
 
 def merge_evidence(parts: Iterable[StreamingEvidence]) -> StreamingEvidence:

@@ -204,6 +204,11 @@ class FaultPlan:
     corrupt_docs: frozenset[int] = frozenset()
     element_failures: frozenset[str] = frozenset()
     element_failures_hard: frozenset[str] = frozenset()
+    #: Checkpoint fault: hard-kill the *driver* (``os._exit``) right
+    #: after the named fresh shard commits durably — the crash window
+    #: the resume property tests probe.  Indices count fresh shards in
+    #: dispatch order within one checkpointed run.
+    kill_after_shards: frozenset[int] = frozenset()
     attempts: int = 1
 
     def __post_init__(self) -> None:
@@ -230,6 +235,11 @@ class FaultPlan:
             "element_failures_hard",
             _frozen_names(self.element_failures_hard, "element_failures_hard"),
         )
+        object.__setattr__(
+            self,
+            "kill_after_shards",
+            _frozen_ints(self.kill_after_shards, "kill_after_shards"),
+        )
         if not isinstance(self.attempts, int) or self.attempts < 1:
             raise UsageError(
                 f"fault plan attempts must be >= 1, got {self.attempts!r}"
@@ -242,6 +252,7 @@ class FaultPlan:
             or self.corrupt_docs
             or self.element_failures
             or self.element_failures_hard
+            or self.kill_after_shards
         )
 
     # -- queries (the runtime asks, the plan answers) -------------------------
@@ -255,6 +266,10 @@ class FaultPlan:
 
     def corrupts(self, doc_index: int) -> bool:
         return doc_index in self.corrupt_docs
+
+    def kills_after(self, shard: int) -> bool:
+        """Whether the driver dies after durably committing ``shard``."""
+        return shard in self.kill_after_shards
 
     def fails_element(self, name: str, method: str) -> bool:
         if name in self.element_failures_hard:
@@ -289,6 +304,7 @@ class FaultPlan:
             "corrupt_docs": sorted(self.corrupt_docs),
             "element_failures": sorted(self.element_failures),
             "element_failures_hard": sorted(self.element_failures_hard),
+            "kill_after_shards": sorted(self.kill_after_shards),
             "attempts": self.attempts,
         }
 
@@ -300,6 +316,7 @@ class FaultPlan:
             "corrupt_docs",
             "element_failures",
             "element_failures_hard",
+            "kill_after_shards",
             "attempts",
         }
         unknown = set(mapping) - known
@@ -329,6 +346,9 @@ class FaultPlan:
             element_failures=_frozen_names(seq("element_failures"), "element_failures"),
             element_failures_hard=_frozen_names(
                 seq("element_failures_hard"), "element_failures_hard"
+            ),
+            kill_after_shards=frozenset(
+                _frozen_ints(seq("kill_after_shards"), "kill_after_shards")
             ),
             attempts=attempts,
         )

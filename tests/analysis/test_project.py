@@ -280,6 +280,13 @@ GOLDEN_PACKAGE_EDGES = frozenset(
         ("repro", "repro.xmlio"),
         ("repro.__main__", "repro.cli"),
         ("repro.analysis", "repro.errors"),
+        ("repro.analysis", "repro.fsio"),
+        ("repro.ckpt", "repro.contracts"),
+        ("repro.ckpt", "repro.errors"),
+        ("repro.ckpt", "repro.fsio"),
+        ("repro.ckpt", "repro.learning"),
+        ("repro.ckpt", "repro.obs"),
+        ("repro.ckpt", "repro.runtime"),
         ("repro.api", "repro.contracts"),
         ("repro.api", "repro.core"),
         ("repro.api", "repro.errors"),
