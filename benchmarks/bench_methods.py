@@ -1,0 +1,135 @@
+"""Experiment E11 — the beyond-SORE learners (``kore`` and ``sire``).
+
+Headline numbers for the two extension methods on the corpora they
+exist for, against the paper's learners on the same data:
+
+* **kore vs SORE** on a repeated-symbol corpus (``a b? a c? a``): the
+  k-ORE learner must *recover the target exactly* where iDTD merges
+  the repeated anchor into a star soup, and its k-descent over clamped
+  automata must stay within a bounded factor of plain iDTD;
+* **sire vs CHARE** on a shuffled corpus (``(a b?) & c & d+``): the
+  interleaving learner must recover the target where CRX collapses
+  the shuffle into one starred disjunction, again at bounded cost.
+
+Both recovery bits and both cost ratios land in ``BENCH_phases.json``
+under the ``methods`` section, where ``perf_gate.py`` holds the
+floors: recovery is a hard 1.0 (the method's reason to exist), the
+ratios are loose ceilings that catch an accidentally quadratic
+rewrite without flaking on runner noise.
+"""
+
+from __future__ import annotations
+
+from perf_record import update_bench_json
+from repro.core.crx import crx
+from repro.core.idtd import idtd
+from repro.datagen.occurrences import repeated_symbol_corpus, shuffled_corpus
+from repro.evaluation.tables import Table
+from repro.evaluation.timing import timed
+from repro.learning.kore import IncrementalKore
+from repro.learning.sire import IncrementalSire
+from repro.regex.language import language_equivalent
+
+BEST_OF = 3
+
+REPEATED_ALPHABET = ("a", "b", "c")
+SHUFFLED_BLOCKS = ("a b?", "c", "d+")
+
+
+def _learn_kore(words):
+    learner = IncrementalKore()
+    learner.add_all(words)
+    return learner.infer()
+
+
+def _learn_sire(words):
+    learner = IncrementalSire()
+    learner.add_all(words)
+    return learner.infer()
+
+
+def _best_of(fn) -> float:
+    return min(timed(fn).seconds for _ in range(BEST_OF))
+
+
+def test_methods_headline_numbers(rng, scale, benchmark):
+    count = scale.noise_words // 2
+    repeated_target, repeated_words = repeated_symbol_corpus(
+        REPEATED_ALPHABET, count, rng, k=3
+    )
+    shuffled_target, shuffled_words = shuffled_corpus(
+        SHUFFLED_BLOCKS, count, rng
+    )
+
+    kore_seconds = _best_of(lambda: _learn_kore(repeated_words))
+    sore_seconds = _best_of(lambda: idtd(repeated_words))
+    sire_seconds = _best_of(lambda: _learn_sire(shuffled_words))
+    chare_seconds = _best_of(lambda: crx(shuffled_words))
+
+    kore_recovers = language_equivalent(
+        _learn_kore(repeated_words), repeated_target
+    )
+    sore_recovers = language_equivalent(
+        idtd(repeated_words), repeated_target
+    )
+    sire_recovers = language_equivalent(
+        _learn_sire(shuffled_words), shuffled_target
+    )
+    chare_recovers = language_equivalent(
+        crx(shuffled_words), shuffled_target
+    )
+
+    kore_ratio = kore_seconds / sore_seconds if sore_seconds else float("inf")
+    sire_ratio = (
+        sire_seconds / chare_seconds if chare_seconds else float("inf")
+    )
+
+    table = Table(
+        headers=("method", "corpus", "seconds", "target recovered"),
+        title=(
+            f"E11: beyond-SORE learners, {count} words per corpus "
+            f"(best of {BEST_OF})"
+        ),
+    )
+    table.add("kore", "repeated", f"{kore_seconds:.4f}", str(kore_recovers))
+    table.add("idtd", "repeated", f"{sore_seconds:.4f}", str(sore_recovers))
+    table.add("sire", "shuffled", f"{sire_seconds:.4f}", str(sire_recovers))
+    table.add("crx", "shuffled", f"{chare_seconds:.4f}", str(chare_recovers))
+    table.show()
+
+    update_bench_json(
+        "methods",
+        {
+            "words_per_corpus": count,
+            "kore_seconds": kore_seconds,
+            "sore_seconds": sore_seconds,
+            "sire_seconds": sire_seconds,
+            "chare_seconds": chare_seconds,
+            "kore_over_sore_ratio": kore_ratio,
+            "sire_over_chare_ratio": sire_ratio,
+            "kore_recovers_target": float(kore_recovers),
+            "sire_recovers_target": float(sire_recovers),
+        },
+    )
+    benchmark(lambda: _learn_kore(repeated_words))
+
+    # The expressiveness gap this experiment demonstrates: the new
+    # learners recover their targets, the paper's learners cannot.
+    assert kore_recovers and sire_recovers
+    assert not sore_recovers and not chare_recovers
+
+
+def test_sire_degeneration_costs_nothing_extra(rng, scale, benchmark):
+    """Conflict-free data: sire must hand straight off to the CHARE."""
+    _, words = repeated_symbol_corpus(("x",), scale.noise_words // 2, rng)
+    assert _learn_sire(words) == crx(words)
+    sire_seconds = _best_of(lambda: _learn_sire(words))
+    chare_seconds = _best_of(lambda: crx(words))
+    print(
+        f"\nE11b: sire on conflict-free data {sire_seconds:.4f}s vs "
+        f"crx {chare_seconds:.4f}s"
+    )
+    benchmark(lambda: _learn_sire(words))
+    # The precedence bookkeeping rides on top of the CHARE pass; a
+    # blow-up here means the factorization runs even when idle.
+    assert sire_seconds <= chare_seconds * 10 + 0.05

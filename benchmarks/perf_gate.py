@@ -80,6 +80,16 @@ GATES = [
     # over the full run — the whole value proposition of repro.ckpt.
     # Measured ~8x on the 1-CPU quick profile.
     Gate("ckpt.incremental_speedup", "min", 5.0),
+    # Beyond-SORE learners (bench_methods.py): recovery of the
+    # generated targets is the methods' reason to exist and gates at a
+    # hard 1.0; the cost ratios vs the paper's learners on the same
+    # corpora are loose ceilings (measured ~2x / ~2.5x on the quick
+    # profile) that catch an accidentally quadratic k-descent or
+    # factorization without flaking on runner noise.
+    Gate("methods.kore_recovers_target", "min", 1.0),
+    Gate("methods.sire_recovers_target", "min", 1.0),
+    Gate("methods.kore_over_sore_ratio", "max", 10.0),
+    Gate("methods.sire_over_chare_ratio", "max", 10.0),
 ]
 
 # Gates over BENCH_serve.json (bench_serve.py): the warm daemon must

@@ -40,10 +40,12 @@ from typing import TYPE_CHECKING
 from .contracts import contracts_enabled
 from .core.inference import (
     DEFAULT_SPARSE_THRESHOLD,
+    METHODS,
     DTDInferencer,
     InferenceReport,
     Method,
     apply_support_threshold,
+    validate_method,
 )
 from .errors import CorpusError, UsageError
 from .obs.recorder import NULL_RECORDER, Recorder
@@ -73,6 +75,7 @@ __all__ = [
     "InferenceConfig",
     "InferenceResult",
     "InferenceSession",
+    "METHODS",
     "ValidationConfig",
     "ValidationResult",
     "diff",
@@ -87,7 +90,10 @@ class InferenceConfig:
 
     Parameters:
         method: per-element learner — ``"idtd"`` (SOREs), ``"crx"``
-            (CHAREs) or ``"auto"`` (the paper's sparse/abundant switch).
+            (CHAREs), ``"kore"`` (k-occurrence REs for repeated
+            symbols), ``"sire"`` (SOREs with interleaving ``&``) or
+            ``"auto"`` (the paper's sparse/abundant switch between the
+            two paper learners; the extensions are opt-in).
         streaming: fold documents directly into learner states instead
             of materializing child sequences (constant memory).
         jobs: shard the corpus across this many worker processes and
@@ -166,11 +172,7 @@ class InferenceConfig:
     resume: bool = False
 
     def __post_init__(self) -> None:
-        if self.method not in ("auto", "idtd", "crx"):
-            raise UsageError(
-                f"unknown method {self.method!r}: expected 'auto', 'idtd' "
-                "or 'crx'"
-            )
+        validate_method(self.method)
         if self.jobs is not None and self.jobs < 1:
             raise UsageError(f"jobs must be >= 1, got {self.jobs}")
         from .runtime.parallel import BACKENDS

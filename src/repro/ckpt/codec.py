@@ -28,7 +28,12 @@ from ..fsio import atomic_write_bytes
 from ..learning.evidence import StreamingEvidence
 
 MAGIC = "repro-ckpt-state"
-VERSION = 1
+# Version history:
+#   1 — soa + crx learner states per element.
+#   2 — adds the kore/sire learner states (evidence payloads from v1
+#       lack them, so hydration would fail; the version gate rejects
+#       them up front with a clear re-run-from-scratch error instead).
+VERSION = 2
 
 
 class StateDecodeError(CorpusError):

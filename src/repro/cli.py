@@ -24,7 +24,7 @@ from collections.abc import Sequence
 from typing import NoReturn
 
 from . import api
-from .api import InferenceConfig, infer
+from .api import METHODS, InferenceConfig, infer
 from .contracts import set_contracts
 from .core.crx import crx
 from .core.idtd import idtd
@@ -166,8 +166,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_expr(args: argparse.Namespace) -> int:
     words = [tuple(word.split()) for word in args.words]
-    learner = crx if args.method == "crx" else idtd
-    regex = learner(words)
+    if args.method in ("kore", "sire"):
+        from .learning.kore import IncrementalKore
+        from .learning.sire import IncrementalSire
+
+        learner_state: IncrementalKore | IncrementalSire = (
+            IncrementalKore() if args.method == "kore" else IncrementalSire()
+        )
+        learner_state.add_all(words)
+        regex = learner_state.infer()
+    elif args.method in ("idtd", "crx"):
+        regex = (crx if args.method == "crx" else idtd)(words)
+    else:
+        # ``auto`` included: it is a per-element corpus policy, not a
+        # word-list learner, so expr rejects it alongside the unknowns.
+        supported = ", ".join(repr(name) for name in ("idtd", "crx", "kore", "sire"))
+        raise UsageError(
+            f"unknown method {args.method!r}: expected one of {supported}"
+        )
     renderer = to_dtd_syntax if args.format == "dtd" else to_paper_syntax
     print(renderer(regex))
     return 0
@@ -203,10 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
         "infer", aliases=["dtd"], help="infer a DTD from XML files"
     )
     infer.add_argument("files", nargs="+", help="XML documents")
+    # Free-form on purpose: InferenceConfig validates through the one
+    # canonical UsageError message, so an unknown method is reported
+    # identically here, through the api facade, and by serve /infer.
     infer.add_argument(
         "--method",
-        choices=("auto", "idtd", "crx"),
         default="auto",
+        metavar="{" + ",".join(METHODS) + "}",
         help="learner per element (default: auto)",
     )
     infer.add_argument(
@@ -354,7 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--new", help="other DTD file (or give XML files)")
     diff.add_argument("files", nargs="*", help="XML documents to infer from")
     diff.add_argument(
-        "--method", choices=("auto", "idtd", "crx"), default="auto"
+        "--method",
+        default="auto",
+        metavar="{" + ",".join(METHODS) + "}",
+        help="learner per element for the inferred side (default: auto)",
     )
     diff.set_defaults(handler=_cmd_diff)
 
@@ -420,7 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
         "words", nargs="+", help="words: whitespace-separated element names"
     )
     expr.add_argument(
-        "--method", choices=("idtd", "crx"), default="idtd", help="learner"
+        "--method",
+        default="idtd",
+        metavar="{idtd,crx,kore,sire}",
+        help="learner (default: idtd)",
     )
     expr.add_argument(
         "--format", choices=("paper", "dtd"), default="paper", help="output syntax"

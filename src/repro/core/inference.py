@@ -9,8 +9,17 @@ regimes:
   most specific class, right when data is abundant;
 * ``"crx"`` — CHAREs directly (Section 7): strong generalisation,
   right when data is sparse;
+* ``"kore"`` — k-occurrence REs via marked 2T-INF + rewrite
+  (:mod:`repro.learning.kore`): handles content models where a symbol
+  legitimately repeats (``a b a``), degenerating to the iDTD SORE when
+  k=1 suffices;
+* ``"sire"`` — single-occurrence REs with interleaving ``&``
+  (:mod:`repro.learning.sire`): handles unordered, attribute-like
+  content, degenerating to the CRX CHARE when no interleaving is
+  witnessed;
 * ``"auto"`` — per element, CRX below ``sparse_threshold`` examples and
-  iDTD above it (the paper's guidance made mechanical).
+  iDTD above it (the paper's guidance made mechanical; the extension
+  learners are opt-in, never auto-chosen).
 
 Mixed content, text-only and empty elements are detected from the
 corpus and mapped to the corresponding DTD content specifications;
@@ -35,6 +44,8 @@ from ..contracts import (
     contracts_enabled,
 )
 from ..errors import CorpusError, UsageError, legacy_entry_point
+from ..learning.kore import IncrementalKore
+from ..learning.sire import IncrementalSire
 from ..learning.tinf import tinf
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..regex.ast import Opt, Regex
@@ -60,11 +71,30 @@ if TYPE_CHECKING:
     from ..runtime.cache import CacheKey, ContentModelCache
     from ..runtime.resilience import DegradationReport, FaultPlan
 
-Method = Literal["idtd", "crx", "auto"]
+Method = Literal["idtd", "crx", "kore", "sire", "auto"]
+
+#: Every accepted ``method=`` value, in the order help text shows them.
+METHODS: tuple[str, ...] = ("auto", "idtd", "crx", "kore", "sire")
 
 #: Below this many example sequences, ``auto`` prefers CRX's stronger
 #: generalisation over iDTD's specificity (Section 1.2's two regimes).
 DEFAULT_SPARSE_THRESHOLD = 50
+
+
+def validate_method(method: str) -> None:
+    """Reject unknown learner methods with the one canonical message.
+
+    Every entry point — :class:`DTDInferencer`, the
+    :class:`repro.api.InferenceConfig` facade, ``repro.cli`` and the
+    serve ``/infer`` handler — funnels through this check, so a bad
+    ``method=`` produces the same :class:`UsageError` text (and hence
+    the same exit code / HTTP status) everywhere.
+    """
+    if method not in METHODS:
+        supported = ", ".join(repr(name) for name in METHODS)
+        raise UsageError(
+            f"unknown method {method!r}: expected one of {supported}"
+        )
 
 
 def _warn_deprecated(old: str, new: str) -> None:
@@ -120,8 +150,7 @@ class DTDInferencer:
         fault_plan: FaultPlan | None = None,
         degradation: DegradationReport | None = None,
     ) -> None:
-        if method not in ("idtd", "crx", "auto"):
-            raise UsageError(f"unknown method {method!r}")
+        validate_method(method)
         self.method = method
         self.sparse_threshold = sparse_threshold
         self.numeric = numeric
@@ -217,6 +246,27 @@ class DTDInferencer:
                     "crx",
                     state.canonical_fingerprint,
                     lambda: state.infer(recorder=recorder),
+                    name,
+                )
+        elif method == "kore":
+            with recorder.span("kore", element=name):
+                kore = IncrementalKore()
+                kore.add_all(sample.distinct_words())
+                regex = self._memoized(
+                    "kore",
+                    kore.canonical_fingerprint,
+                    lambda: kore.infer(recorder=recorder),
+                    name,
+                )
+        elif method == "sire":
+            with recorder.span("sire", element=name):
+                sire = IncrementalSire()
+                for word, count in sample.distinct():
+                    sire.add_counted(word, count)
+                regex = self._memoized(
+                    "sire",
+                    sire.canonical_fingerprint,
+                    lambda: sire.infer(recorder=recorder),
                     name,
                 )
         else:
@@ -361,6 +411,32 @@ class DTDInferencer:
                     "crx",
                     evidence.crx.state.canonical_fingerprint,
                     derive_chare,
+                    evidence.name,
+                )
+
+            if method == "kore":
+
+                def derive_kore() -> Regex:
+                    with recorder.span("kore", element=evidence.name):
+                        return evidence.kore.infer(recorder=recorder)
+
+                return self._memoized(
+                    "kore",
+                    evidence.kore.canonical_fingerprint,
+                    derive_kore,
+                    evidence.name,
+                )
+
+            if method == "sire":
+
+                def derive_sire() -> Regex:
+                    with recorder.span("sire", element=evidence.name):
+                        return evidence.sire.infer(recorder=recorder)
+
+                return self._memoized(
+                    "sire",
+                    evidence.sire.canonical_fingerprint,
+                    derive_sire,
                     evidence.name,
                 )
 

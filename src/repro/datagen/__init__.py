@@ -6,7 +6,9 @@
 * :data:`TABLE1` / :data:`TABLE2` / :data:`FIGURE4_TARGETS` — the
   paper's concrete expressions with expected learner outputs;
 * :class:`XmlGenerator` — random XML documents from a DTD;
-* noise injection for the Section 9 experiments.
+* noise injection for the Section 9 experiments;
+* :mod:`repro.datagen.occurrences` — seeded repeated-symbol and
+  shuffled/interleaved corpora for the beyond-SORE learners.
 """
 
 from .corpora import (
@@ -21,10 +23,18 @@ from .corpora import (
     table2_row,
 )
 from .noise import NoisyCorpus, inject_intruders, perturb
+from .occurrences import (
+    fuzz_corpus,
+    repeated_symbol_corpus,
+    repeated_symbol_target,
+    shuffled_corpus,
+    shuffled_target,
+)
 from .strings import (
     padded_sample,
     random_word,
     representative_sample,
+    riffle,
     sample_words,
 )
 from .xmlgen import XmlGenerator, serialize
@@ -39,13 +49,19 @@ __all__ = [
     "Table1Row",
     "Table2Row",
     "XmlGenerator",
+    "fuzz_corpus",
     "inject_intruders",
     "padded_sample",
     "perturb",
     "random_word",
+    "repeated_symbol_corpus",
+    "repeated_symbol_target",
     "representative_sample",
+    "riffle",
     "sample_words",
     "serialize",
+    "shuffled_corpus",
+    "shuffled_target",
     "table1_row",
     "table2_row",
 ]

@@ -1,0 +1,204 @@
+"""Seeded corpora beyond SOREs: repeated symbols and interleaving.
+
+The paper's corpora (Tables 1–2) are single-occurrence: no element
+name repeats inside a content model and child order is essentially
+fixed.  The generators here produce exactly the data those corpora
+cannot — the evaluation and test surface for the ``kore`` and
+``sire`` learners:
+
+* **repeated-symbol corpora** — words drawn from a k-occurrence
+  target such as ``a b? a``.  The plain SORE learner must merge the
+  occurrences (they form a cycle in the 2-gram automaton) and lose
+  the count; the ``kore`` learner recovers it.
+* **shuffled corpora** — per-block words interleaved at random, with
+  a deterministic core that witnesses *both* relative orders for
+  every cross-block symbol pair.  The SORE/CHARE learners collapse
+  the blocks into one ``(...)*`` soup; the ``sire`` learner
+  factorizes them back apart into ``e1 & ... & en``.
+
+Every function is deterministic given the :class:`random.Random`
+passed in, so corpora are reproducible from a seed — the property
+suites and the determinism fuzz harness rely on that to shrink
+failures to a re-runnable seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..errors import UsageError
+from ..regex.ast import Opt, Regex, Sym, concat, inter
+from ..regex.parser import parse_regex
+from .strings import Word, random_word, representative_sample, riffle
+
+__all__ = [
+    "fuzz_corpus",
+    "repeated_symbol_corpus",
+    "repeated_symbol_target",
+    "shuffled_corpus",
+    "shuffled_target",
+]
+
+
+def repeated_symbol_target(symbols: Sequence[str], k: int = 2) -> Regex:
+    """A one-unambiguous k-occurrence target over ``symbols``.
+
+    The first symbol anchors ``k`` occurrences; each gap between
+    consecutive anchors gets its *own* optional separator symbol from
+    the rest of the alphabet, until the symbols run out: ``("a",)``
+    with k=3 gives ``a a a``; ``("a", "b", "c")`` with k=3 gives
+    ``a b? a c? a``.  Per-gap separators matter: a separator shared
+    between two gaps would occupy two different marked slots
+    (``b#1`` both before and after ``a#2``), putting a cycle in the
+    marked 2-gram automaton that no k-ORE derivation can untangle.
+    With distinct separators the marked automaton is a clean chain,
+    so ``kore`` recovers exactly this target while the SORE learner
+    must merge the anchor occurrences and surrender to a star soup.
+    """
+    if not symbols:
+        raise UsageError("repeated_symbol_target needs at least one symbol")
+    if k < 2:
+        raise UsageError(f"k must be >= 2 to repeat a symbol, got {k}")
+    anchor, rest = symbols[0], symbols[1:]
+    parts: list[Regex] = [Sym(anchor)]
+    for gap in range(k - 1):
+        if gap < len(rest):
+            parts.append(Opt(Sym(rest[gap])))
+        parts.append(Sym(anchor))
+    return concat(*parts)
+
+
+def repeated_symbol_corpus(
+    symbols: Sequence[str],
+    count: int,
+    rng: random.Random,
+    k: int = 2,
+) -> tuple[Regex, list[Word]]:
+    """``(target, words)``: a seeded corpus from a k-occurrence target.
+
+    The corpus always contains the deterministic representative core
+    of the target (every 2-gram witnessed, so the marked automaton is
+    fully covered) padded with random draws up to ``count`` words.
+    """
+    target = repeated_symbol_target(symbols, k)
+    words = representative_sample(target)
+    while len(words) < count:
+        words.append(random_word(target, rng))
+    rng.shuffle(words)
+    return target, words
+
+
+def shuffled_target(blocks: Sequence[Regex | str]) -> Regex:
+    """The interleaving ``e1 & ... & en`` of per-block expressions.
+
+    Blocks given as strings are parsed in the paper syntax.  Block
+    alphabets must be pairwise disjoint — that is what makes the
+    target deterministic and the corpus learnable by ``sire``.
+    """
+    if not blocks:
+        raise UsageError("shuffled_target needs at least one block")
+    parsed = [
+        parse_regex(block) if isinstance(block, str) else block
+        for block in blocks
+    ]
+    claimed: set[str] = set()
+    for branch in parsed:
+        alphabet = branch.alphabet()
+        overlap = claimed & alphabet
+        if overlap:
+            raise UsageError(
+                f"shuffled blocks must have disjoint alphabets; "
+                f"{sorted(overlap)} appear twice"
+            )
+        claimed |= alphabet
+    return inter(*parsed) if len(parsed) > 1 else parsed[0]
+
+
+def shuffled_corpus(
+    blocks: Sequence[Regex | str],
+    count: int,
+    rng: random.Random,
+) -> tuple[Regex, list[Word]]:
+    """``(target, words)``: a seeded corpus of interleaved block words.
+
+    The deterministic core concatenates one representative word per
+    block in forward order and in reverse order — which witnesses both
+    relative orders for every cross-block symbol pair, so the learner
+    sees every conflict the target implies — plus each block's full
+    representative sample riffled into the others.  Random riffles of
+    random per-block draws pad the corpus to ``count``.
+    """
+    target = shuffled_target(blocks)
+    parsed = [
+        parse_regex(block) if isinstance(block, str) else block
+        for block in blocks
+    ]
+    cores = [representative_sample(branch) for branch in parsed]
+    # A nonempty flagship word per block, for the two order-witnessing
+    # concatenations (empty words witness no order).
+    flagships = [
+        next((list(word) for word in core if word), []) for core in cores
+    ]
+    words: list[Word] = []
+    seen: set[Word] = set()
+
+    def emit(word: Word) -> None:
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+
+    emit(tuple(symbol for flagship in flagships for symbol in flagship))
+    emit(
+        tuple(
+            symbol for flagship in reversed(flagships) for symbol in flagship
+        )
+    )
+    depth = max(len(core) for core in cores)
+    for rank in range(depth):
+        streams = [
+            list(core[rank % len(core)]) for core in cores if core
+        ]
+        emit(tuple(riffle(streams, rng)))
+    while len(words) < count:
+        streams = [list(random_word(branch, rng)) for branch in parsed]
+        words.append(tuple(riffle(streams, rng)))
+    rng.shuffle(words)
+    return target, words
+
+
+def fuzz_corpus(rng: random.Random) -> tuple[str, list[Word]]:
+    """One random corpus for the determinism fuzz harness.
+
+    Draws a random shape — repeated-symbol, shuffled, or a shuffle
+    whose first block itself repeats a symbol — with random alphabet
+    sizes, so a single seed determines the whole corpus.  Returns
+    ``(shape, words)``; the shape tag makes failures self-describing.
+    """
+    shape = rng.choice(("repeated", "shuffled", "mixed"))
+    if shape == "repeated":
+        width = rng.randint(1, 4)
+        symbols = [f"a{i}" for i in range(width)]
+        k = rng.randint(2, 4)
+        _, words = repeated_symbol_corpus(
+            symbols, count=rng.randint(5, 40), rng=rng, k=k
+        )
+        return shape, words
+    block_count = rng.randint(2, 4)
+    blocks: list[Regex] = []
+    for index in range(block_count):
+        names = [f"b{index}x{j}" for j in range(rng.randint(1, 3))]
+        parts: list[Regex] = []
+        for name in names:
+            quantified: Regex = Sym(name)
+            roll = rng.random()
+            if roll < 0.3:
+                quantified = Opt(quantified)
+            parts.append(quantified)
+        blocks.append(concat(*parts))
+    if shape == "mixed":
+        blocks[0] = repeated_symbol_target(
+            [f"b0r{j}" for j in range(rng.randint(1, 2))], k=rng.randint(2, 3)
+        )
+    _, words = shuffled_corpus(blocks, count=rng.randint(5, 40), rng=rng)
+    return shape, words

@@ -21,6 +21,7 @@ from ..errors import InternalError
 from ..regex.ast import (
     Concat,
     Disj,
+    Inter,
     Opt,
     Plus,
     Regex,
@@ -31,6 +32,28 @@ from ..regex.ast import (
 from ..regex.glushkov import Glushkov, glushkov
 
 Word = tuple[str, ...]
+
+
+def riffle(streams: list[list[str]], rng: random.Random) -> list[str]:
+    """A uniform random interleaving of ``streams``.
+
+    Each stream's internal order is preserved — exactly the words of a
+    shuffle product.  Drawing proportional to remaining lengths makes
+    every distinct interleaving equally likely.
+    """
+    pending = [list(stream) for stream in streams if stream]
+    merged: list[str] = []
+    while pending:
+        total = sum(len(stream) for stream in pending)
+        pick = rng.randrange(total)
+        for index, stream in enumerate(pending):
+            if pick < len(stream):
+                merged.append(stream.pop(0))
+                if not stream:
+                    del pending[index]
+                break
+            pick -= len(stream)
+    return merged
 
 
 def random_word(
@@ -78,6 +101,8 @@ def random_word(
                 for _ in range(rng.randint(node.low, high))
                 for s in build(node.inner)
             ]
+        if isinstance(node, Inter):
+            return riffle([build(branch) for branch in node.branches], rng)
         raise InternalError(f"unknown regex node: {node!r}")
 
     return tuple(build(regex))

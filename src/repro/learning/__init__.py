@@ -6,6 +6,8 @@
   protocol of the Figure 4 experiments;
 * :class:`IncrementalSOA` / :class:`IncrementalCRX` — Section 9
   incremental computation;
+* :class:`IncrementalKore` / :class:`IncrementalSire` — the
+  beyond-SORE extension learners (k-occurrence REs and interleaving);
 * :class:`WeightedSOA` / :func:`idtd_denoised` — Section 9 noise
   handling with per-edge supports;
 * :mod:`repro.learning.evidence` — corpus evidence extraction: the
@@ -25,7 +27,9 @@ from .evidence import (
     extract_streaming_evidence,
 )
 from .incremental import IncrementalCRX, IncrementalSOA
+from .kore import IncrementalKore
 from .noise import DenoisedResult, WeightedSOA, idtd_denoised
+from .sire import IncrementalSire
 from .sampling import covering_subsample, reservoir_sample
 from .tinf import KTestableAutomaton, ktinf, sample_two_grams, tinf
 
@@ -34,7 +38,9 @@ __all__ = [
     "DenoisedResult",
     "ElementEvidence",
     "IncrementalCRX",
+    "IncrementalKore",
     "IncrementalSOA",
+    "IncrementalSire",
     "KTestableAutomaton",
     "StreamingElementEvidence",
     "StreamingEvidence",

@@ -46,6 +46,8 @@ from .incremental import (
     _payload_int,
     _payload_strings,
 )
+from .kore import IncrementalKore
+from .sire import IncrementalSire
 
 Word = tuple[str, ...]
 
@@ -244,8 +246,10 @@ class StreamingElementEvidence:
     """Constant-size evidence about one element name.
 
     Child-name sequences are *not* retained: each one is folded into an
-    :class:`IncrementalSOA` (for iDTD) and an :class:`IncrementalCRX`
-    (for CRX) the moment it is observed, together with the counters the
+    :class:`IncrementalSOA` (for iDTD), an :class:`IncrementalCRX`
+    (for CRX), an :class:`~repro.learning.kore.IncrementalKore` and an
+    :class:`~repro.learning.sire.IncrementalSire`
+    the moment it is observed, together with the counters the
     DTD layer needs (occurrences, empty/non-empty content splits) and
     the same bounded text/attribute reservoirs as the batch path.
     """
@@ -254,6 +258,8 @@ class StreamingElementEvidence:
         "name",
         "soa",
         "crx",
+        "kore",
+        "sire",
         "occurrences",
         "nonempty_count",
         "empty_count",
@@ -267,6 +273,8 @@ class StreamingElementEvidence:
         self.name = name
         self.soa = IncrementalSOA()
         self.crx = IncrementalCRX()
+        self.kore = IncrementalKore()
+        self.sire = IncrementalSire()
         self.occurrences = 0
         self.nonempty_count = 0
         self.empty_count = 0
@@ -285,17 +293,26 @@ class StreamingElementEvidence:
     ) -> None:
         if recorder.enabled:
             # Folding runs once per element occurrence — far too hot
-            # for per-call spans, so SOA vs CRX time is accumulated
+            # for per-call spans, so per-learner time is accumulated
             # per element name and flushed as aggregate spans.
-            start = perf_counter()
+            t0 = perf_counter()
             self.soa.add(word)
-            mid = perf_counter()
+            t1 = perf_counter()
             self.crx.add(word)
-            recorder.add_time("soa", mid - start, element=self.name)
-            recorder.add_time("crx", perf_counter() - mid, element=self.name)
+            t2 = perf_counter()
+            self.kore.add(word)
+            t3 = perf_counter()
+            self.sire.add(word)
+            t4 = perf_counter()
+            recorder.add_time("soa", t1 - t0, element=self.name)
+            recorder.add_time("crx", t2 - t1, element=self.name)
+            recorder.add_time("kore", t3 - t2, element=self.name)
+            recorder.add_time("sire", t4 - t3, element=self.name)
         else:
             self.soa.add(word)
             self.crx.add(word)
+            self.kore.add(word)
+            self.sire.add(word)
         if word:
             self.nonempty_count += 1
         else:
@@ -311,6 +328,8 @@ class StreamingElementEvidence:
     def merge(self, other: "StreamingElementEvidence") -> None:
         self.soa.merge(other.soa)
         self.crx.merge(other.crx)
+        self.kore.merge(other.kore)
+        self.sire.merge(other.sire)
         self.occurrences += other.occurrences
         self.nonempty_count += other.nonempty_count
         self.empty_count += other.empty_count
@@ -328,6 +347,8 @@ class StreamingElementEvidence:
             "name": self.name,
             "soa": self.soa.dehydrate(),
             "crx": self.crx.dehydrate(),
+            "kore": self.kore.dehydrate(),
+            "sire": self.sire.dehydrate(),
             "occurrences": self.occurrences,
             "nonempty_count": self.nonempty_count,
             "empty_count": self.empty_count,
@@ -357,6 +378,19 @@ class StreamingElementEvidence:
             )
         evidence.soa = IncrementalSOA.hydrate(soa_payload)
         evidence.crx = IncrementalCRX.hydrate(crx_payload)
+        kore_payload = payload.get("kore")
+        sire_payload = payload.get("sire")
+        if not isinstance(kore_payload, Mapping) or not isinstance(
+            sire_payload, Mapping
+        ):
+            # Required, not defaulted: evidence written before the
+            # kore/sire learners existed cannot be resumed silently
+            # (the checkpoint codec version gate rejects it first).
+            raise CorpusError(
+                f"element evidence for {name!r} lacks kore/sire learner states"
+            )
+        evidence.kore = IncrementalKore.hydrate(kore_payload)
+        evidence.sire = IncrementalSire.hydrate(sire_payload)
         evidence.occurrences = _payload_int(payload, "occurrences")
         evidence.nonempty_count = _payload_int(payload, "nonempty_count")
         evidence.empty_count = _payload_int(payload, "empty_count")

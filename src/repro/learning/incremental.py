@@ -216,6 +216,21 @@ class IncrementalCRX:
                 return True
         return False
 
+    def add_counted(self, word: Word, count: int) -> bool:
+        """Fold ``count`` occurrences of ``word`` in one call.
+
+        The expression depends only on distinct profiles, so after the
+        first occurrence is folded through :meth:`add` (with its change
+        detection) the rest go straight to the state — multiplicity
+        matters only to fingerprints and to merge bookkeeping.
+        """
+        if count <= 0:
+            return False
+        changed = self.add(word)
+        if count > 1:
+            self.state.add_counted(word, count - 1)
+        return changed
+
     def _invalidate(self) -> None:
         self._cached = None
         self._summaries = None

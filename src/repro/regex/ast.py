@@ -6,10 +6,13 @@ are REs so are ``r . s`` (concatenation), ``r + s`` (disjunction),
 ``r?``, ``r+`` and ``r*``.  Neither the empty string nor the empty
 language are basic expressions.
 
-This module provides an immutable AST for that grammar plus one
-extension used in Section 9, bounded repetition (``Repeat``), which
-models the numerical predicates ``r=i`` / ``r>=i`` and the XML-Schema
-``minOccurs`` / ``maxOccurs`` attributes.
+This module provides an immutable AST for that grammar plus two
+extensions.  Bounded repetition (``Repeat``, Section 9) models the
+numerical predicates ``r=i`` / ``r>=i`` and the XML-Schema
+``minOccurs`` / ``maxOccurs`` attributes; the k-ORE learner also emits
+it for symbols that repeat up to k times.  Interleaving (``Inter``,
+the ``&`` of the SIRE successor line) denotes the shuffle of its
+branches and models unordered, attribute-like content.
 
 Nodes are hashable and compare structurally, which the rest of the
 library relies on (e.g. memo tables in the matcher and syntactic
@@ -79,7 +82,7 @@ class Regex:
         for node in self.walk():
             if isinstance(node, Sym):
                 total += 1
-            elif isinstance(node, (Concat, Disj)):
+            elif isinstance(node, (Concat, Disj, Inter)):
                 total += len(node.children()) - 1
             else:  # Opt / Plus / Star / Repeat
                 total += 1
@@ -168,6 +171,38 @@ class Disj(Regex):
 
     def __repr__(self) -> str:
         return f"Disj({', '.join(map(repr, self.options))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Inter(Regex):
+    """Interleaving (shuffle) ``r1 & r2 & ... & rn`` with n >= 2.
+
+    A word belongs to the language iff it can be split into disjoint
+    subsequences, one per branch, each belonging to that branch's
+    language.  ``Inter`` never appears in SOREs/CHAREs proper; it is
+    produced by the SIRE learner for unordered, attribute-like content.
+    Unlike ``Disj``, branches are *not* deduplicated: ``a & a`` denotes
+    the two-letter word ``aa``, not ``a``.
+    """
+
+    branches: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise UsageError("Inter requires at least two branches; use inter()")
+        if any(isinstance(branch, Inter) for branch in self.branches):
+            raise UsageError(
+                "Inter branches must be flattened; build with inter()"
+            )
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.branches
+
+    def nullable(self) -> bool:
+        return all(branch.nullable() for branch in self.branches)
+
+    def __repr__(self) -> str:
+        return f"Inter({', '.join(map(repr, self.branches))})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -300,6 +335,25 @@ def disj(*options: Regex) -> Regex:
     if len(flat) == 1:
         return flat[0]
     return Disj(tuple(flat))
+
+
+def inter(*branches: Regex) -> Regex:
+    """Interleave expressions, flattening nested interleavings.
+
+    ``inter(r)`` is ``r`` itself; zero arguments are rejected.  Unlike
+    :func:`disj`, duplicates are preserved — shuffle is not idempotent.
+    """
+    flat: list[Regex] = []
+    for branch in branches:
+        if isinstance(branch, Inter):
+            flat.extend(branch.branches)
+        else:
+            flat.append(branch)
+    if not flat:
+        raise UsageError("inter() of zero expressions: epsilon is not an RE")
+    if len(flat) == 1:
+        return flat[0]
+    return Inter(tuple(flat))
 
 
 def chain_factor(names: Iterable[str], quantifier: str = "") -> Regex:

@@ -16,8 +16,39 @@ arbitrary expressions via the Glushkov criterion.
 
 from __future__ import annotations
 
-from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+from .ast import Concat, Disj, Inter, Opt, Plus, Regex, Repeat, Star, Sym
 from .glushkov import glushkov
+
+
+def _contains_inter(regex: Regex) -> bool:
+    return any(isinstance(node, Inter) for node in regex.walk())
+
+
+def _inter_deterministic(regex: Regex) -> bool:
+    """Structural one-unambiguity for interleaved expressions.
+
+    Mirrors the XSD ``all``-group discipline the SIRE learner emits: an
+    optional top-level ``Inter`` whose branches have pairwise-disjoint
+    alphabets, contain no nested interleaving, and are each themselves
+    deterministic.  With disjoint branch alphabets every input symbol
+    identifies its branch uniquely, so the whole shuffle can be matched
+    with one-symbol lookahead iff each branch can.  Anything outside
+    that shape is conservatively reported non-deterministic.
+    """
+    node = regex.inner if isinstance(regex, Opt) else regex
+    if not isinstance(node, Inter):
+        return False
+    claimed: set[str] = set()
+    for branch in node.branches:
+        if _contains_inter(branch):
+            return False
+        branch_alphabet = branch.alphabet()
+        if claimed & branch_alphabet:
+            return False
+        claimed |= branch_alphabet
+        if not glushkov(branch).is_deterministic():
+            return False
+    return True
 
 
 def is_single_occurrence(regex: Regex) -> bool:
@@ -66,5 +97,11 @@ def is_deterministic(regex: Regex) -> bool:
     right, always knowing which occurrence of a symbol in the
     expression matches the next input symbol.  DTD content models must
     be deterministic; every SORE trivially is.
+
+    Interleaved expressions have no position automaton; they are
+    checked with the structural disjoint-branch rule instead (see
+    :func:`_inter_deterministic`).
     """
+    if _contains_inter(regex):
+        return _inter_deterministic(regex)
     return glushkov(regex).is_deterministic()

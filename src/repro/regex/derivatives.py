@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..errors import InternalError
-from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+from .ast import Concat, Disj, Inter, Opt, Plus, Regex, Repeat, Star, Sym, inter
 
 # Internal lifted constants (never exposed).
 _EPSILON = ("ε",)
@@ -112,6 +112,26 @@ def _derive(node: object, symbol: str) -> object:
         if head.nullable():
             result = _alt(result, _derive(rest, symbol))
         return result
+    if isinstance(node, Inter):
+        # D_a(r1 & ... & rn) = Σ_i  D_a(ri) & (the other branches):
+        # the first symbol must come from *some* branch, and shuffle
+        # with the untouched remainder continues afterwards.
+        result = _EMPTY
+        for index, branch in enumerate(node.branches):
+            derived = _derive(branch, symbol)
+            if derived is _EMPTY:
+                continue
+            rest = [
+                other
+                for position, other in enumerate(node.branches)
+                if position != index
+            ]
+            if derived is _EPSILON:
+                shuffled: object = rest[0] if len(rest) == 1 else Inter(tuple(rest))
+            else:
+                shuffled = inter(derived, *rest)  # type: ignore[arg-type]
+            result = _alt(result, shuffled)
+        return result
     if isinstance(node, Repeat):
         # D(r{low,high}) = D(r) . r{low-1, high-1}, clamped at zero.
         inner, low, high = node.inner, node.low, node.high
@@ -126,6 +146,17 @@ def _derive(node: object, symbol: str) -> object:
             remainder = Repeat(inner, max(low - 1, 0), high - 1)
         return _seq(derived_inner, remainder)
     raise InternalError(f"unknown regex node: {node!r}")
+
+
+# Public lifted-form hooks for the expression-state engine in
+# :mod:`repro.regex.language`: Inter-containing expressions cannot be
+# compiled to a Glushkov position automaton (a single position cannot
+# record per-branch progress through a shuffle), so membership and
+# product constructions there step through derivative states instead.
+EPSILON: object = _EPSILON
+EMPTY: object = _EMPTY
+derive = _derive
+lifted_nullable = _lifted_nullable
 
 
 def matches_by_derivatives(regex: Regex, word: Sequence[str]) -> bool:

@@ -18,7 +18,17 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 from ..errors import InternalError, UsageError
-from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+from .ast import Concat, Disj, Inter, Opt, Plus, Regex, Repeat, Star, Sym
+
+
+class InterleavingUnsupported(UsageError):
+    """Raised when an ``Inter`` node reaches the Glushkov construction.
+
+    A position automaton cannot express shuffle: a single position has
+    no way to record how far each interleaved branch has progressed.
+    Inter-containing expressions are handled by the derivative-based
+    engine instead; :mod:`repro.regex.language` routes automatically.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -183,6 +193,11 @@ class _Builder:
                 inner.first,
                 inner.last,
                 inner.nullable or isinstance(regex, Star),
+            )
+        if isinstance(regex, Inter):
+            raise InterleavingUnsupported(
+                "interleaving (&) has no Glushkov position automaton; "
+                "use the derivative-based engine in repro.regex.language"
             )
         raise InternalError(f"unknown regex node: {regex!r}")
 

@@ -1,8 +1,17 @@
 """Decision procedures on the languages denoted by regular expressions.
 
-Everything here works through the Glushkov automaton with an on-the-fly
-subset construction, which is cheap for the expression sizes that occur
-in DTDs (the paper's largest has 61 symbols).
+Two stepping engines back everything here:
+
+* Inter-free expressions compile to a Glushkov automaton and run
+  through an on-the-fly subset construction, which is cheap for the
+  expression sizes that occur in DTDs (the paper's largest has 61
+  symbols).
+* Expressions containing interleaving (``&``) have no position
+  automaton, so their states are Brzozowski derivative expressions in
+  canonical form.  Shuffle products can blow up, so derivative-state
+  exploration is bounded: past :data:`_INTER_STATE_CAP` distinct states
+  a query raises :class:`InterleavingBudgetError` rather than running
+  without bound — inclusion over ``&`` is decided within that budget.
 
 Words are sequences of element names (``tuple[str, ...]`` or
 ``list[str]``), *not* character strings: DTD content models speak about
@@ -15,18 +24,39 @@ from collections import deque
 from functools import lru_cache
 from collections.abc import Iterator, Sequence
 
-from .ast import Regex
+from ..errors import CorpusError
+from .ast import Inter, Regex
+from .derivatives import EMPTY, derive, lifted_nullable, matches_by_derivatives
 from .glushkov import Glushkov, glushkov
+from .normalize import canonical
 
 # A deterministic state of the on-the-fly subset construction: the
 # frozen set of Glushkov positions we may be in.  ``None`` is the start
 # state (no symbol consumed yet).
 _State = frozenset | None
 
+#: Distinct derivative states a single interleaving query may explore.
+_INTER_STATE_CAP = 20_000
+
+
+class InterleavingBudgetError(CorpusError):
+    """An interleaving decision procedure exceeded its state budget.
+
+    Shuffle languages are regular, but the derivative state space of a
+    product query grows with the number of interleaved branches; rather
+    than loop for minutes on adversarial expressions, queries give up
+    past :data:`_INTER_STATE_CAP` distinct states.
+    """
+
 
 @lru_cache(maxsize=4096)
 def _automaton(regex: Regex) -> Glushkov:
     return glushkov(regex)
+
+
+@lru_cache(maxsize=4096)
+def _contains_inter(regex: Regex) -> bool:
+    return any(isinstance(node, Inter) for node in regex.walk())
 
 
 def _step(automaton: Glushkov, state: _State, symbol: str) -> frozenset:
@@ -41,15 +71,89 @@ def _step(automaton: Glushkov, state: _State, symbol: str) -> frozenset:
         if automaton.labels[q] == symbol
     )
 
-
 def _accepting(automaton: Glushkov, state: _State) -> bool:
     if state is None:
         return automaton.nullable
     return any(p in automaton.last for p in state)
 
 
+class _GlushkovEngine:
+    """Stepping engine over the position automaton (Inter-free input)."""
+
+    __slots__ = ("_automaton", "alphabet")
+
+    def __init__(self, regex: Regex) -> None:
+        self._automaton = _automaton(regex)
+        self.alphabet: list[str] = sorted(set(self._automaton.labels))
+
+    def start(self) -> object:
+        return None
+
+    def step(self, state: object, symbol: str) -> object:
+        assert state is None or isinstance(state, frozenset)
+        return _step(self._automaton, state, symbol)
+
+    def accepting(self, state: object) -> bool:
+        assert state is None or isinstance(state, frozenset)
+        return _accepting(self._automaton, state)
+
+    def alive(self, state: object) -> bool:
+        return state is None or bool(state)
+
+
+class _DerivativeEngine:
+    """Stepping engine over canonical derivative expressions.
+
+    States are the lifted expressions of :mod:`repro.regex.derivatives`
+    (a ``Regex``, or the ε/∅ markers).  Regex states are put in
+    canonical form so that derivation-order noise (option ordering
+    inside unions) does not multiply the state space.  The engine
+    counts distinct states per *instance*; construct one per query.
+    """
+
+    __slots__ = ("alphabet", "_start", "_seen")
+
+    def __init__(self, regex: Regex) -> None:
+        self.alphabet: list[str] = sorted(regex.alphabet())
+        self._start: object = canonical(regex)
+        self._seen: set[object] = {self._start}
+
+    def start(self) -> object:
+        return self._start
+
+    def step(self, state: object, symbol: str) -> object:
+        derived = derive(state, symbol)
+        if isinstance(derived, Regex):
+            derived = canonical(derived)
+        if derived not in self._seen:
+            self._seen.add(derived)
+            if len(self._seen) > _INTER_STATE_CAP:
+                raise InterleavingBudgetError(
+                    "interleaving query exceeded "
+                    f"{_INTER_STATE_CAP} derivative states"
+                )
+        return derived
+
+    def accepting(self, state: object) -> bool:
+        return lifted_nullable(state)
+
+    def alive(self, state: object) -> bool:
+        return state is not EMPTY
+
+
+_Engine = _GlushkovEngine | _DerivativeEngine
+
+
+def _engine(regex: Regex) -> _Engine:
+    if _contains_inter(regex):
+        return _DerivativeEngine(regex)
+    return _GlushkovEngine(regex)
+
+
 def matches(regex: Regex, word: Sequence[str]) -> bool:
     """Does ``word`` (a sequence of element names) belong to ``L(regex)``?"""
+    if _contains_inter(regex):
+        return matches_by_derivatives(regex, word)
     return _automaton(regex).accepts(word)
 
 
@@ -60,23 +164,23 @@ def counterexample(
 
     ``None`` therefore means ``L(narrower) ⊆ L(wider)``.
     """
-    left = _automaton(narrower)
-    right = _automaton(wider)
-    alphabet = sorted(set(left.labels))
-    start: tuple[_State, _State] = (None, None)
-    seen: set[tuple[_State, _State]] = {start}
-    queue: deque[tuple[_State, _State, tuple[str, ...]]] = deque(
-        [(None, None, ())]
+    left = _engine(narrower)
+    right = _engine(wider)
+    alphabet = left.alphabet
+    start = (left.start(), right.start())
+    seen: set[tuple[object, object]] = {start}
+    queue: deque[tuple[object, object, tuple[str, ...]]] = deque(
+        [(*start, ())]
     )
     while queue:
         left_state, right_state, word = queue.popleft()
-        if _accepting(left, left_state) and not _accepting(right, right_state):
+        if left.accepting(left_state) and not right.accepting(right_state):
             return word
         for symbol in alphabet:
-            next_left = _step(left, left_state, symbol)
-            if not next_left:
+            next_left = left.step(left_state, symbol)
+            if not left.alive(next_left):
                 continue  # dead on the left: nothing to witness
-            next_right = _step(right, right_state, symbol)
+            next_right = right.step(right_state, symbol)
             key = (next_left, next_right)
             if key not in seen:
                 seen.add(key)
@@ -125,9 +229,10 @@ def language_cache_info() -> dict[str, dict[str, int]]:
 
 
 def clear_language_caches() -> None:
-    """Drop both language-level LRUs (explicit invalidation hook)."""
+    """Drop the language-level LRUs (explicit invalidation hook)."""
     _automaton.cache_clear()
     _included_cached.cache_clear()
+    _contains_inter.cache_clear()
 
 
 def enumerate_words(
@@ -144,13 +249,13 @@ def enumerate_words(
     """
     if limit is not None and limit <= 0:
         return
-    automaton = _automaton(regex)
-    alphabet = sorted(set(automaton.labels))
+    engine = _engine(regex)
+    alphabet = engine.alphabet
     produced = 0
-    queue: deque[tuple[_State, tuple[str, ...]]] = deque([(None, ())])
+    queue: deque[tuple[object, tuple[str, ...]]] = deque([(engine.start(), ())])
     while queue:
         state, word = queue.popleft()
-        if _accepting(automaton, state):
+        if engine.accepting(state):
             yield word
             produced += 1
             if limit is not None and produced >= limit:
@@ -158,6 +263,7 @@ def enumerate_words(
         if len(word) >= max_length:
             continue
         for symbol in alphabet:
-            next_state = _step(automaton, state, symbol)
-            if next_state:
+            next_state = engine.step(state, symbol)
+            if engine.alive(next_state):
                 queue.append((next_state, word + (symbol,)))
+    return

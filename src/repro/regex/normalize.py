@@ -14,7 +14,20 @@ criterion of the Figure 4 experiments, Theorem 5).
 
 from __future__ import annotations
 
-from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym, concat, disj
+from .ast import (
+    Concat,
+    Disj,
+    Inter,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    concat,
+    disj,
+    inter,
+)
 from .printer import to_paper_syntax
 
 
@@ -23,6 +36,8 @@ def _rebuild(regex: Regex, children: list[Regex]) -> Regex:
         return concat(*children)
     if isinstance(regex, Disj):
         return disj(*children)
+    if isinstance(regex, Inter):
+        return inter(*children)
     if isinstance(regex, Opt):
         return Opt(children[0])
     if isinstance(regex, Plus):
@@ -55,6 +70,101 @@ def contract_stars(regex: Regex) -> Regex:
     if isinstance(rebuilt, Plus) and isinstance(rebuilt.inner, Opt):
         return Star(rebuilt.inner.inner)
     return rebuilt
+
+
+def _factor_interval(factor: Regex) -> tuple[str, int, int | None] | None:
+    """Recognize a single-symbol factor denoting ``{a^i : low <= i <= high}``.
+
+    Returns ``(symbol, low, high)`` (``high is None`` meaning unbounded)
+    or ``None`` when the factor is not of that shape.  Every quantifier
+    the learners emit over a lone symbol is such a contiguous interval.
+    """
+    if isinstance(factor, Sym):
+        return factor.name, 1, 1
+    if isinstance(factor, (Opt, Plus, Star, Repeat)):
+        inner = _factor_interval(factor.inner)
+        if inner is None:
+            return None
+        name, low, high = inner
+        if isinstance(factor, Opt):
+            # {0} ∪ [low, high] is contiguous only when low <= 1.
+            return (name, 0, high) if low <= 1 else None
+        if isinstance(factor, (Plus, Star)):
+            # Sums of k >= 1 copies of [low, high] tile [low, ∞) only
+            # when consecutive multiples overlap: 2·low <= high + 1.
+            if high is not None and 2 * low > high + 1:
+                return None
+            if isinstance(factor, Star) and low > 1:
+                return None
+            return name, 0 if isinstance(factor, Star) else low, None
+        # Repeat: exact only over a plain symbol (inner interval {1}).
+        if (low, high) != (1, 1):
+            return None
+        return name, factor.low, factor.high
+    return None
+
+
+def _interval_regex(name: str, low: int, high: int | None) -> Regex:
+    base = Sym(name)
+    if (low, high) == (1, 1):
+        return base
+    if (low, high) == (0, 1):
+        return Opt(base)
+    if low <= 1 and high is None:
+        return Plus(base) if low == 1 else Star(base)
+    return Repeat(base, low, high)
+
+
+def contract_repeats(regex: Regex) -> Regex:
+    """Collapse runs of same-symbol factors into bounded repetitions.
+
+    The k-ORE learner produces concatenations like ``a a? a?`` (one
+    factor per marked occurrence); adjacent factors over the same lone
+    symbol whose count sets are contiguous intervals concatenate to the
+    sumset interval, so ``a a? a?`` contracts to ``a{1,3}`` exactly.
+    Runs of length one are left untouched.
+    """
+    if isinstance(regex, Sym):
+        return regex
+    children = [contract_repeats(child) for child in regex.children()]
+    rebuilt = _rebuild(regex, children)
+    if not isinstance(rebuilt, Concat):
+        return rebuilt
+    out: list[Regex] = []
+    run: tuple[str, int, int | None] | None = None
+    run_parts: list[Regex] = []
+
+    def flush() -> None:
+        nonlocal run
+        if run is not None:
+            if len(run_parts) == 1:
+                out.append(run_parts[0])
+            else:
+                out.append(_interval_regex(*run))
+        run = None
+        run_parts.clear()
+
+    for part in rebuilt.parts:
+        interval = _factor_interval(part)
+        if interval is None:
+            flush()
+            out.append(part)
+            continue
+        if run is not None and run[0] == interval[0]:
+            low = run[1] + interval[1]
+            high = (
+                None
+                if run[2] is None or interval[2] is None
+                else run[2] + interval[2]
+            )
+            run = (interval[0], low, high)
+            run_parts.append(part)
+        else:
+            flush()
+            run = interval
+            run_parts.append(part)
+    flush()
+    return concat(*out)
 
 
 def normalize(regex: Regex) -> Regex:
@@ -169,6 +279,10 @@ def canonical(regex: Regex) -> Regex:
         if isinstance(rebuilt, Disj):
             ordered = sorted(rebuilt.options, key=to_paper_syntax)
             return disj(*ordered)
+        if isinstance(rebuilt, Inter):
+            # Shuffle is commutative too; sort branches the same way.
+            ordered = sorted(rebuilt.branches, key=to_paper_syntax)
+            return inter(*ordered)
         return rebuilt
 
     return sort_disjunctions(regex)

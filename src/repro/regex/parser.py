@@ -9,7 +9,9 @@ Accepts both syntaxes emitted by :mod:`repro.regex.printer`:
   disjoins.
 
 The two may be mixed freely.  Bounded repetition ``r{2,5}`` / ``r{3,}``
-(Section 9 numerical predicates) is also accepted.
+(Section 9 numerical predicates) and interleaving ``r & s`` (the SIRE
+shuffle operator, binding tighter than disjunction but looser than
+concatenation) are also accepted.
 
 The only genuinely ambiguous corner is a ``+`` with an atom on both
 sides and no whitespace, as in ``a+b``.  Following the paper's own
@@ -22,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import CorpusError
-from .ast import Opt, Plus, Regex, Repeat, Star, Sym, concat, disj
+from .ast import Opt, Plus, Regex, Repeat, Star, Sym, concat, disj, inter
 
 
 class RegexSyntaxError(CorpusError):
@@ -81,6 +83,7 @@ def _tokenize(text: str) -> list[_Token]:
                 ",": "COMMA",
                 "?": "QMARK",
                 "*": "STAR",
+                "&": "AMP",
             }.get(char)
             if kind is None:
                 raise RegexSyntaxError(f"unexpected character {char!r}", index)
@@ -131,7 +134,7 @@ class _Parser:
         return expression
 
     def _parse_disjunction(self) -> Regex:
-        options = [self._parse_concatenation()]
+        options = [self._parse_interleave()]
         while True:
             token = self._peek()
             if token is None:
@@ -139,10 +142,23 @@ class _Parser:
             if token.kind in ("PIPE", "PLUS"):
                 # Any '+' that survives postfix parsing is binary.
                 self._advance()
-                options.append(self._parse_concatenation())
+                options.append(self._parse_interleave())
             else:
                 break
         return disj(*options)
+
+    def _parse_interleave(self) -> Regex:
+        branches = [self._parse_concatenation()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "AMP":
+                self._advance()
+                branches.append(self._parse_concatenation())
+            else:
+                break
+        return inter(*branches)
 
     def _parse_concatenation(self) -> Regex:
         parts = [self._parse_postfix()]

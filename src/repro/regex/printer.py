@@ -17,11 +17,12 @@ back by :mod:`repro.regex.parser`.
 from __future__ import annotations
 
 from ..errors import InternalError
-from .ast import Concat, Disj, Opt, Plus, Regex, Repeat, Star, Sym
+from .ast import Concat, Disj, Inter, Opt, Plus, Regex, Repeat, Star, Sym
 
 _PREC_DISJ = 0
-_PREC_CONCAT = 1
-_PREC_POSTFIX = 2
+_PREC_INTER = 1
+_PREC_CONCAT = 2
+_PREC_POSTFIX = 3
 
 
 def _render(regex: Regex, parent_prec: int, concat_sep: str, disj_sep: str) -> str:
@@ -32,6 +33,12 @@ def _render(regex: Regex, parent_prec: int, concat_sep: str, disj_sep: str) -> s
             _render(part, _PREC_CONCAT, concat_sep, disj_sep) for part in regex.parts
         )
         return f"({body})" if parent_prec > _PREC_CONCAT else body
+    if isinstance(regex, Inter):
+        body = " & ".join(
+            _render(branch, _PREC_INTER + 1, concat_sep, disj_sep)
+            for branch in regex.branches
+        )
+        return f"({body})" if parent_prec > _PREC_INTER else body
     if isinstance(regex, Disj):
         body = disj_sep.join(
             _render(option, _PREC_DISJ, concat_sep, disj_sep)

@@ -100,9 +100,14 @@ CRASH_EXIT_STATUS = 97
 #: Fallback ordering per the paper's specificity ladder: SOREs are the
 #: most specific class, CHAREs generalize them, ``ANY`` gives up.  A
 #: failed learner falls to the next entry; after the last comes ``ANY``.
+#: The extension learners slot in above their base class: a failed
+#: k-ORE derivation falls to the plain SORE path (then CHARE), a
+#: failed SIRE factorization falls to the CHARE it generalizes.
 FALLBACK_ORDER: dict[str, tuple[str, ...]] = {
     "idtd": ("idtd", "crx"),
     "crx": ("crx",),
+    "kore": ("kore", "idtd", "crx"),
+    "sire": ("sire", "crx"),
 }
 
 

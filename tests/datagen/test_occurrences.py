@@ -1,0 +1,139 @@
+"""Seeded repeated-symbol and shuffled corpus generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.occurrences import (
+    fuzz_corpus,
+    repeated_symbol_corpus,
+    repeated_symbol_target,
+    shuffled_corpus,
+    shuffled_target,
+)
+from repro.datagen.strings import riffle
+from repro.errors import UsageError
+from repro.regex.ast import Inter
+from repro.regex.language import matches
+from repro.regex.printer import to_paper_syntax
+
+
+class TestRiffle:
+    def test_preserves_each_streams_order(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            merged = riffle([["a1", "a2", "a3"], ["b1", "b2"]], rng)
+            assert [s for s in merged if s.startswith("a")] == ["a1", "a2", "a3"]
+            assert [s for s in merged if s.startswith("b")] == ["b1", "b2"]
+
+    def test_empty_streams_dropped(self):
+        assert riffle([[], ["a"], []], random.Random(1)) == ["a"]
+
+    def test_eventually_produces_every_interleaving(self):
+        rng = random.Random(2)
+        produced = {tuple(riffle([["a"], ["b"]], rng)) for _ in range(50)}
+        assert produced == {("a", "b"), ("b", "a")}
+
+
+class TestRepeatedSymbolTargets:
+    def test_per_gap_separators(self):
+        target = repeated_symbol_target(("a", "b", "c"), k=3)
+        assert to_paper_syntax(target) == "a b? a c? a"
+
+    def test_anchor_alone(self):
+        assert to_paper_syntax(repeated_symbol_target(("a",), k=3)) == "a a a"
+
+    def test_separators_run_out_gracefully(self):
+        assert (
+            to_paper_syntax(repeated_symbol_target(("a", "b"), k=4))
+            == "a b? a a a"
+        )
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(UsageError):
+            repeated_symbol_target(("a",), k=1)
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(UsageError):
+            repeated_symbol_target((), k=2)
+
+
+class TestRepeatedSymbolCorpora:
+    def test_every_word_in_the_target_language(self):
+        target, words = repeated_symbol_corpus(
+            ("a", "b", "c"), 40, random.Random(9), k=3
+        )
+        assert len(words) >= 40
+        assert all(matches(target, word) for word in words)
+
+    def test_anchor_repeats_k_times_somewhere(self):
+        _, words = repeated_symbol_corpus(("a", "b"), 30, random.Random(9), k=3)
+        assert any(word.count("a") == 3 for word in words)
+
+    def test_seeded_reproducibility(self):
+        first = repeated_symbol_corpus(("a", "b"), 30, random.Random(4), k=2)
+        second = repeated_symbol_corpus(("a", "b"), 30, random.Random(4), k=2)
+        assert first == second
+
+
+class TestShuffledCorpora:
+    def test_target_is_an_interleaving(self):
+        target = shuffled_target(("a b?", "c", "d+"))
+        assert isinstance(target, Inter)
+
+    def test_single_block_collapses(self):
+        assert to_paper_syntax(shuffled_target(("a b",))) == "a b"
+
+    def test_rejects_overlapping_block_alphabets(self):
+        with pytest.raises(UsageError):
+            shuffled_target(("a b", "b c"))
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(UsageError):
+            shuffled_target(())
+
+    def test_every_word_in_the_target_language(self):
+        target, words = shuffled_corpus(
+            ("a b?", "c", "d+"), 40, random.Random(13)
+        )
+        assert len(words) >= 40
+        assert all(matches(target, word) for word in words)
+
+    def test_both_orders_witnessed_for_every_cross_block_pair(self):
+        _, words = shuffled_corpus(("a", "b", "c"), 10, random.Random(13))
+        for first, second in (("a", "b"), ("a", "c"), ("b", "c")):
+            assert any(
+                word.index(first) < word.index(second)
+                for word in words
+                if first in word and second in word
+            )
+            assert any(
+                word.index(second) < word.index(first)
+                for word in words
+                if first in word and second in word
+            )
+
+    def test_seeded_reproducibility(self):
+        first = shuffled_corpus(("a b?", "c"), 25, random.Random(6))
+        second = shuffled_corpus(("a b?", "c"), 25, random.Random(6))
+        assert first == second
+
+
+class TestFuzzCorpus:
+    def test_seeded_reproducibility(self):
+        assert fuzz_corpus(random.Random(42)) == fuzz_corpus(random.Random(42))
+
+    def test_shapes_all_reachable(self):
+        shapes = {fuzz_corpus(random.Random(seed))[0] for seed in range(40)}
+        assert shapes == {"repeated", "shuffled", "mixed"}
+
+    def test_words_are_tuples_of_names(self):
+        _, words = fuzz_corpus(random.Random(8))
+        assert words
+        assert all(
+            isinstance(word, tuple)
+            and all(isinstance(symbol, str) for symbol in word)
+            for word in words
+        )

@@ -26,6 +26,7 @@ class TestApiSurface:
             "InferenceConfig",
             "InferenceResult",
             "InferenceSession",
+            "METHODS",
             "ValidationConfig",
             "ValidationResult",
             "diff",

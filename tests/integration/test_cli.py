@@ -361,3 +361,83 @@ class TestExpr:
     def test_crx_dtd_format(self, capsys):
         assert main(["expr", "--method", "crx", "--format", "dtd", "a b", "b"]) == 0
         assert capsys.readouterr().out.strip() == "a?,b"
+
+
+class TestMethodValidation:
+    """Unknown methods fail with the one canonical UsageError message,
+    uniformly across infer, diff and the serve-backed config path."""
+
+    CANONICAL = (
+        "unknown method 'bogus': expected one of "
+        "'auto', 'idtd', 'crx', 'kore', 'sire'"
+    )
+
+    def test_infer_unknown_method(self, corpus_files, capsys):
+        assert main(["infer", "--method", "bogus", *corpus_files]) == 1
+        assert self.CANONICAL in capsys.readouterr().err
+
+    def test_diff_unknown_method(self, corpus_files, tmp_path, capsys):
+        old = tmp_path / "old.dtd"
+        old.write_text("<!ELEMENT r EMPTY>", encoding="utf-8")
+        assert (
+            main(["diff", "--old", str(old), "--method", "bogus", *corpus_files])
+            == 1
+        )
+        assert self.CANONICAL in capsys.readouterr().err
+
+    def test_expr_unknown_method(self, capsys):
+        assert main(["expr", "--method", "bogus", "a b"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown method 'bogus'" in err
+        assert "'kore', 'sire'" in err
+
+    def test_expr_rejects_auto(self, capsys):
+        # auto is a corpus policy, not a word-list learner.
+        assert main(["expr", "--method", "auto", "a b"]) == 1
+        assert "unknown method 'auto'" in capsys.readouterr().err
+
+
+class TestExtensionMethods:
+    def test_infer_kore_counts_repetitions(self, tmp_path, capsys):
+        paths = []
+        for index, body in enumerate(
+            ["<a/><b/><a/>", "<a/><a/>", "<a/><c/><a/>"]
+        ):
+            path = tmp_path / f"k{index}.xml"
+            path.write_text(f"<r>{body}</r>", encoding="utf-8")
+            paths.append(str(path))
+        assert main(["infer", "--method", "kore", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT r (a,(b|c)?,a)>" in out
+
+    def test_infer_sire_emits_interleaving(self, tmp_path, capsys):
+        paths = []
+        for index, body in enumerate(
+            ["<a/><b/><c/>", "<c/><b/><a/>", "<b/><c/><a/>", "<c/><a/><b/>"]
+        ):
+            path = tmp_path / f"s{index}.xml"
+            path.write_text(f"<r>{body}</r>", encoding="utf-8")
+            paths.append(str(path))
+        assert main(["infer", "--method", "sire", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT r (a & b & c)>" in out
+
+    def test_expr_kore(self, capsys):
+        assert main(["expr", "--method", "kore", "a b a", "a a"]) == 0
+        assert capsys.readouterr().out.strip() == "a b? a"
+
+    def test_expr_sire(self, capsys):
+        assert main(["expr", "--method", "sire", "a b", "b a"]) == 0
+        assert capsys.readouterr().out.strip() == "a & b"
+
+    def test_streaming_kore_identical_to_batch(self, tmp_path, capsys):
+        paths = []
+        for index in range(6):
+            body = "<a/><b/><a/>" if index % 2 else "<a/><a/>"
+            path = tmp_path / f"d{index}.xml"
+            path.write_text(f"<r>{body}</r>", encoding="utf-8")
+            paths.append(str(path))
+        assert main(["infer", "--method", "kore", *paths]) == 0
+        batch = capsys.readouterr().out
+        assert main(["infer", "--method", "kore", "--jobs", "2", *paths]) == 0
+        assert capsys.readouterr().out == batch

@@ -1,0 +1,136 @@
+"""Determinism fuzz harness for the kore/sire learners.
+
+Every expression the extension learners emit must pass the
+one-unambiguity check — the fallback-to-smaller-k / fallback-to-chare
+machinery exists precisely so a deterministic candidate always wins.
+This harness hammers that claim across hundreds of seeded corpora
+(repeated-symbol, shuffled, and mixed shapes) and, when a violation
+appears, *shrinks* the corpus — dropping whole words, then individual
+symbols — to a minimal counterexample that still violates the
+property, so the failure message is a directly re-runnable repro.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+import pytest
+
+from repro.datagen.occurrences import fuzz_corpus
+from repro.datagen.strings import Word
+from repro.errors import CorpusError
+from repro.learning.kore import IncrementalKore
+from repro.learning.sire import IncrementalSire
+from repro.regex.classify import is_deterministic
+from repro.regex.language import matches
+from repro.regex.printer import to_paper_syntax
+
+#: ≥200 seeds per learner, split into parametrized batches so a
+#: failure names its seed range without paying 400 test setups.
+SEED_COUNT = 200
+BATCH = 20
+SEED_BATCHES = [
+    range(start, start + BATCH) for start in range(0, SEED_COUNT, BATCH)
+]
+
+Learner = IncrementalKore | IncrementalSire
+LEARNERS: dict[str, Callable[[], Learner]] = {
+    "kore": IncrementalKore,
+    "sire": IncrementalSire,
+}
+
+
+def violates(make_learner: Callable[[], Learner], words: list[Word]) -> bool:
+    """True when learning ``words`` emits a non-deterministic or
+    unsound expression (the property under fuzz)."""
+    learner = make_learner()
+    learner.add_all(words)
+    try:
+        expression = learner.infer()
+    except CorpusError:
+        # Nothing learnable (e.g. only empty words): not a violation.
+        return False
+    if not is_deterministic(expression):
+        return True
+    return not all(matches(expression, word) for word in words)
+
+
+def shrink_corpus(
+    words: list[Word], still_fails: Callable[[list[Word]], bool]
+) -> list[Word]:
+    """Greedily minimize a failing corpus, preserving the failure.
+
+    First pass drops whole words, second drops individual symbols
+    inside the surviving words; both repeat to a fixed point.  The
+    result is 1-minimal: removing any single word or symbol makes the
+    failure disappear.
+    """
+    current = list(words)
+    changed = True
+    while changed:
+        changed = False
+        for index in reversed(range(len(current))):
+            candidate = current[:index] + current[index + 1 :]
+            if candidate and still_fails(candidate):
+                current = candidate
+                changed = True
+        for index, word in enumerate(current):
+            for position in reversed(range(len(word))):
+                shorter = word[:position] + word[position + 1 :]
+                candidate = (
+                    current[:index] + [shorter] + current[index + 1 :]
+                )
+                if still_fails(candidate):
+                    current = candidate
+                    word = shorter
+                    changed = True
+    return current
+
+
+def report(name: str, seed: int, words: list[Word]) -> str:
+    minimal = shrink_corpus(
+        words, lambda candidate: violates(LEARNERS[name], candidate)
+    )
+    learner = LEARNERS[name]()
+    learner.add_all(minimal)
+    try:
+        emitted = to_paper_syntax(learner.infer())
+    except CorpusError as error:  # pragma: no cover - diagnostic path
+        emitted = f"<CorpusError: {error}>"
+    return (
+        f"{name} violated determinism/soundness at seed {seed}; "
+        f"minimal corpus {minimal!r} emits {emitted}"
+    )
+
+
+@pytest.mark.parametrize("seeds", SEED_BATCHES, ids=lambda r: f"{r.start}-{r.stop - 1}")
+@pytest.mark.parametrize("name", sorted(LEARNERS))
+def test_emitted_expressions_deterministic_and_sound(name, seeds):
+    for seed in seeds:
+        _, words = fuzz_corpus(random.Random(seed))
+        if violates(LEARNERS[name], words):
+            pytest.fail(report(name, seed, words))
+
+
+class TestShrinker:
+    """The shrinker itself, driven by an artificial predicate."""
+
+    def test_shrinks_to_a_single_triggering_word(self):
+        words = [("a", "b"), ("x", "c", "d"), ("e",)]
+        minimal = shrink_corpus(
+            words, lambda ws: any("x" in word for word in ws)
+        )
+        assert minimal == [("x",)]
+
+    def test_result_still_fails(self):
+        predicate = lambda ws: sum(len(w) for w in ws) >= 3  # noqa: E731
+        minimal = shrink_corpus([("a", "b"), ("c", "d"), ("e",)], predicate)
+        assert predicate(minimal)
+        assert sum(len(w) for w in minimal) == 3
+
+    def test_always_failing_predicate_bottoms_out_at_one_empty_word(self):
+        # Whole-word drops keep at least one word; symbol drops may
+        # empty it — the true 1-minimal corpus for a constant predicate.
+        minimal = shrink_corpus([("a", "b"), ("c",)], lambda ws: True)
+        assert minimal == [()]

@@ -1,0 +1,202 @@
+"""The interleaving extension (``&``) across the regex layer.
+
+Covers the :class:`~repro.regex.ast.Inter` node end to end: smart
+constructor and AST invariants, printing/parsing in both syntaxes,
+normalization, derivative-based membership against a brute-force
+shuffle oracle, the structural determinism rule, the typed rejection
+by the Glushkov construction, and the dual-engine language decision
+procedures (inclusion, counterexamples, enumeration, state budget).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import UsageError
+from repro.regex import language as language_module
+from repro.regex.ast import Inter, Opt, Sym, concat, disj, inter
+from repro.regex.classify import is_deterministic
+from repro.regex.derivatives import matches_by_derivatives
+from repro.regex.glushkov import InterleavingUnsupported, glushkov
+from repro.regex.language import (
+    InterleavingBudgetError,
+    counterexample,
+    enumerate_words,
+    language_equivalent,
+    language_included,
+    matches,
+)
+from repro.regex.normalize import canonical
+from repro.regex.parser import parse_regex
+from repro.regex.printer import to_dtd_syntax, to_paper_syntax
+
+A, B, C = Sym("a"), Sym("b"), Sym("c")
+
+
+def shuffles(*words: tuple[str, ...]) -> set[tuple[str, ...]]:
+    """Brute-force shuffle product: every interleaving of ``words``."""
+    if not words:
+        return {()}
+    results: set[tuple[str, ...]] = set()
+    for index, word in enumerate(words):
+        if not word:
+            rest = words[:index] + words[index + 1 :]
+            results |= shuffles(*rest)
+            continue
+        head, tail = word[0], word[1:]
+        rest = words[:index] + (tail,) + words[index + 1 :]
+        results |= {(head,) + merged for merged in shuffles(*rest)}
+    return results
+
+
+class TestAst:
+    def test_constructor_flattens_nested_interleaving(self):
+        assert inter(A, inter(B, C)) == Inter((A, B, C))
+
+    def test_single_branch_collapses(self):
+        assert inter(A) is A
+
+    def test_zero_branches_rejected(self):
+        with pytest.raises(UsageError):
+            inter()
+
+    def test_duplicates_preserved(self):
+        # a & a denotes {aa}; collapsing it to a would change the
+        # language, unlike disjunction where a + a is just a.
+        doubled = inter(A, A)
+        assert doubled == Inter((A, A))
+        assert matches(doubled, ("a", "a"))
+        assert not matches(doubled, ("a",))
+
+    def test_nullable_requires_all_branches_nullable(self):
+        assert Inter((Opt(A), Opt(B))).nullable()
+        assert not Inter((Opt(A), B)).nullable()
+
+    def test_direct_construction_rejects_nested(self):
+        with pytest.raises(UsageError):
+            Inter((A, Inter((B, C))))
+
+    def test_direct_construction_rejects_single_branch(self):
+        with pytest.raises(UsageError):
+            Inter((A,))
+
+
+class TestSyntax:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & b",
+            "a? & b+ & c",
+            "a b & c",
+            "(a + b) & c",
+            "(a & b) c",
+            "(a & b)?",
+        ],
+    )
+    def test_paper_syntax_round_trip(self, text):
+        assert to_paper_syntax(parse_regex(text)) == text
+
+    def test_dtd_syntax_round_trip(self):
+        expression = parse_regex("a b & c? & d+")
+        assert to_dtd_syntax(expression) == "a,b & c? & d+"
+        assert parse_regex(to_dtd_syntax(expression)) == expression
+
+    def test_precedence_disjunction_below_interleaving(self):
+        assert parse_regex("a + b & c") == disj(A, inter(B, C))
+
+    def test_precedence_interleaving_below_concatenation(self):
+        assert parse_regex("a b & c") == inter(concat(A, B), C)
+
+    def test_canonical_sorts_branches(self):
+        assert canonical(inter(B, A)) == canonical(inter(A, B))
+
+
+class TestMembership:
+    def test_matches_agrees_with_shuffle_oracle(self):
+        expression = parse_regex("a b & c")
+        expected = shuffles(("a", "b"), ("c",))
+        for word in itertools.product("abc", repeat=3):
+            assert matches(expression, word) == (tuple(word) in expected)
+
+    def test_three_branch_shuffle(self):
+        expression = parse_regex("a & b & c")
+        for permutation in itertools.permutations(("a", "b", "c")):
+            assert matches(expression, permutation)
+        assert not matches(expression, ("a", "b"))
+        assert not matches(expression, ("a", "b", "c", "a"))
+
+    def test_direct_derivative_entry_point(self):
+        expression = parse_regex("a+ & b")
+        assert matches_by_derivatives(expression, ("a", "b", "a"))
+        assert not matches_by_derivatives(expression, ("b",))
+
+    def test_nullable_interleaving_accepts_empty(self):
+        assert matches(parse_regex("a? & b?"), ())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "text", ["a & b", "a? & b+ & c", "(a b) & c", "(a & b)?"]
+    )
+    def test_structural_rule_accepts(self, text):
+        assert is_deterministic(parse_regex(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & a",  # branch alphabets overlap
+            "(a b) & (b c)",  # overlap across multi-symbol branches
+            "(a & b) c",  # interleaving below a concatenation
+            "(a & b) + c",  # ... or below a disjunction
+            "a & (b & c)?",  # nested interleaving inside a branch
+        ],
+    )
+    def test_structural_rule_rejects(self, text):
+        assert not is_deterministic(parse_regex(text))
+
+    def test_glushkov_raises_typed_error(self):
+        with pytest.raises(InterleavingUnsupported) as excinfo:
+            glushkov(parse_regex("a & b"))
+        assert isinstance(excinfo.value, UsageError)
+
+
+class TestLanguageDecisions:
+    def test_inclusion_across_engines(self):
+        # Glushkov narrower vs derivative wider and vice versa.
+        assert language_included(parse_regex("a b"), parse_regex("a & b"))
+        assert language_included(parse_regex("a & b"), parse_regex("(a + b)*"))
+        assert not language_included(parse_regex("a & b"), parse_regex("a b"))
+
+    def test_counterexample_is_a_shortest_witness(self):
+        witness = counterexample(parse_regex("a & b"), parse_regex("a b"))
+        assert witness == ("b", "a")
+
+    def test_equivalence_of_disjoint_singletons(self):
+        assert language_equivalent(
+            parse_regex("a & b"), parse_regex("a b + b a")
+        )
+
+    def test_enumerate_words_shortlex(self):
+        words = list(enumerate_words(parse_regex("a & b c"), 3))
+        assert words == [
+            ("a", "b", "c"),
+            ("b", "a", "c"),
+            ("b", "c", "a"),
+        ]
+
+    def test_enumeration_limit(self):
+        assert list(enumerate_words(parse_regex("a & b"), 2, limit=1)) == [
+            ("a", "b")
+        ]
+
+    def test_state_budget_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(language_module, "_INTER_STATE_CAP", 3)
+        # ~16 distinct derivative states (progress in each branch), well
+        # past the patched cap; the wider side accepts everything so no
+        # counterexample can end the search early.
+        busy = parse_regex("(a b c) & (d e f)")
+        everything = parse_regex("(a + b + c + d + e + f)*")
+        with pytest.raises(InterleavingBudgetError):
+            counterexample(busy, everything)

@@ -7,6 +7,7 @@ from repro.regex.ast import Opt, Plus, Star, Sym
 from repro.regex.language import language_equivalent
 from repro.regex.normalize import (
     canonical,
+    contract_repeats,
     contract_stars,
     expand_stars,
     normalize,
@@ -14,6 +15,7 @@ from repro.regex.normalize import (
     syntactically_equal,
 )
 from repro.regex.parser import parse_regex
+from repro.regex.printer import to_paper_syntax
 
 from ..conftest import sores
 
@@ -98,3 +100,56 @@ class TestCanonical:
         left = canonical(parse_regex("(b|a) (d|c)?"))
         right = canonical(parse_regex("(a|b) (c|d)?"))
         assert left == right
+
+
+class TestContractRepeats:
+    """Adjacent same-symbol factor runs collapse into counted factors.
+
+    ``contract_repeats`` only fires when every factor's count set is a
+    contiguous interval *and* the concatenation of those intervals is
+    again an interval — otherwise rewriting would change the language.
+    """
+
+    @pytest.mark.parametrize(
+        ("before", "after"),
+        [
+            ("a a? a? b", "a{1,3} b"),
+            ("a a+", "a{2,}"),
+            ("a a*", "a+"),
+            ("a a", "a{2,2}"),
+            ("a? a?", "a{0,2}"),
+            ("a* a*", "a*"),
+            ("b a a? c", "b a{1,2} c"),
+        ],
+    )
+    def test_contractions(self, before, after):
+        contracted = contract_repeats(parse_regex(before))
+        assert to_paper_syntax(contracted) == after
+        assert language_equivalent(contracted, parse_regex(before))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a b a",  # different symbols between the run
+            "a (a + b)",  # factor is not a pure same-symbol interval
+            "a? b?",  # runs of length one are left untouched
+        ],
+    )
+    def test_non_contractible_left_alone(self, text):
+        expression = parse_regex(text)
+        assert contract_repeats(expression) == expression
+
+    def test_single_factor_runs_never_rewritten(self):
+        # Opt(Plus(a)) is interval-shaped, but a run of one factor must
+        # not be restyled (a+? is not made a*): only genuine runs fuse.
+        expression = Opt(Plus(Sym("a")))
+        assert contract_repeats(expression) == expression
+
+    def test_recurses_below_the_surface(self):
+        contracted = contract_repeats(parse_regex("(a a? + b) c"))
+        assert to_paper_syntax(contracted) == "(a{1,2} + b) c"
+
+    @settings(max_examples=60, deadline=None)
+    @given(sores())
+    def test_language_preserved_on_random_sores(self, expression):
+        assert language_equivalent(contract_repeats(expression), expression)

@@ -404,3 +404,68 @@ class TestSessions:
     def test_dtd_on_empty_session_is_400(self, app):
         sid = call(app, "POST", "/sessions", {}).payload["session"]
         assert call(app, "GET", f"/sessions/{sid}/dtd").status == 400
+
+
+class TestInferMethods:
+    """The extension learners through /infer, and the canonical
+    unknown-method error shared with the CLI."""
+
+    SHUFFLED = [
+        "<r><a/><b/><c/></r>",
+        "<r><c/><b/><a/></r>",
+        "<r><b/><c/><a/></r>",
+        "<r><c/><a/><b/></r>",
+    ]
+    REPEATED = [
+        "<r><a/><b/><a/></r>",
+        "<r><a/><a/></r>",
+    ]
+
+    def test_sire_through_infer(self, app):
+        response = call(
+            app,
+            "POST",
+            "/infer",
+            {"documents": self.SHUFFLED, "config": {"method": "sire"}},
+        )
+        assert response.status == 200
+        assert "<!ELEMENT r (a & b & c)>" in response.payload["dtd"]
+
+    def test_kore_through_infer(self, app):
+        response = call(
+            app,
+            "POST",
+            "/infer",
+            {"documents": self.REPEATED, "config": {"method": "kore"}},
+        )
+        assert response.status == 200
+        assert "<!ELEMENT r (a,b?,a)>" in response.payload["dtd"]
+
+    def test_unknown_method_is_400_with_the_canonical_message(self, app):
+        response = call(
+            app,
+            "POST",
+            "/infer",
+            {"documents": DOCS, "config": {"method": "bogus"}},
+        )
+        assert response.status == 400
+        assert response.payload["error"]["message"] == (
+            "unknown method 'bogus': expected one of "
+            "'auto', 'idtd', 'crx', 'kore', 'sire'"
+        )
+
+    def test_session_accepts_extension_methods(self, app):
+        created = call(
+            app, "POST", "/sessions", {"config": {"method": "sire"}}
+        )
+        assert created.status in (200, 201)
+        session_id = created.payload["session"]
+        appended = call(
+            app,
+            "POST",
+            f"/sessions/{session_id}/append",
+            {"documents": self.SHUFFLED},
+        )
+        assert appended.status == 200
+        rendered = call(app, "GET", f"/sessions/{session_id}/dtd")
+        assert "<!ELEMENT r (a & b & c)>" in rendered.payload["dtd"]
